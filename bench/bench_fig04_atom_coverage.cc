@@ -1,0 +1,47 @@
+// Reproduces Fig. 4: cumulative percentage coverage of atom types in the
+// AIDS-like dataset. The paper's point: ~58 atom types exist but the top
+// 5 cover ~99% of all occurrences, motivating the feature selection of
+// Section II-B.
+
+#include <cstdio>
+#include <iostream>
+
+#include "bench/bench_util.h"
+#include "data/datasets.h"
+#include "data/elements.h"
+#include "features/selection.h"
+#include "util/table.h"
+
+int main(int argc, char** argv) {
+  using namespace graphsig;
+  bench::BenchArgs args = bench::BenchArgs::Parse(argc, argv);
+  bench::PrintHeader(
+      "Fig. 4 — cumulative atom-type coverage (AIDS-like)",
+      "58 atom types; the top 5 cover ~99% of all atom occurrences",
+      args);
+
+  data::DatasetOptions options;
+  options.size = args.Scaled(2000);
+  options.seed = args.seed;
+  graph::GraphDatabase db = data::MakeAidsLike(options);
+
+  auto coverage = features::CumulativeAtomCoverage(db);
+  std::printf("distinct atom types: %zu (paper: 58)\n\n", coverage.size());
+
+  util::TablePrinter table({"rank", "atom", "count", "cumulative %"});
+  for (size_t i = 0; i < coverage.size(); ++i) {
+    // Print the head densely and then every few ranks of the tail.
+    if (i >= 10 && i % 8 != 0 && i + 1 != coverage.size()) continue;
+    table.AddRow({std::to_string(i + 1),
+                  data::AtomSymbol(coverage[i].label),
+                  std::to_string(coverage[i].count),
+                  util::TablePrinter::Num(coverage[i].cumulative_percent, 2)});
+  }
+  table.Print(std::cout);
+
+  const double top5 = coverage.size() >= 5
+                          ? coverage[4].cumulative_percent
+                          : coverage.back().cumulative_percent;
+  std::printf("\ntop-5 coverage: %.2f%% (paper: ~99%%)\n", top5);
+  return 0;
+}

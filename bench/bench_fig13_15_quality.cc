@@ -1,0 +1,141 @@
+// Reproduces Figs. 13-15: the qualitative claim that GraphSig recovers
+// the known active cores from the medically active sets — the AZT and
+// FDT cores from the AIDS actives (Fig. 13), methyl-triphenylphosphonium
+// from UACC-257 (Fig. 14), and the Sb/Bi analog pair from MOLT-4
+// (Fig. 15) despite their sub-1% global frequency. The synthetic
+// datasets plant exactly these motifs, so recovery is measured exactly.
+// Also runs the DESIGN.md ablation: RWR vs plain window-count
+// featurization.
+
+#include <cstdio>
+#include <iostream>
+
+#include "bench/bench_util.h"
+#include "core/graphsig.h"
+#include "data/datasets.h"
+#include "data/elements.h"
+#include "data/motifs.h"
+#include "graph/isomorphism.h"
+#include "util/table.h"
+
+namespace {
+
+using namespace graphsig;
+
+struct Recovery {
+  bool found = false;
+  double best_pvalue = 1.0;
+  int64_t db_frequency = -1;
+  int pattern_edges = 0;
+};
+
+// A motif counts as recovered if some mined pattern with >= 4 edges is
+// contained in it or contains it (the mined core may extend one bond
+// into the scaffold it was spliced onto).
+Recovery CheckRecovery(const core::GraphSigResult& result,
+                       const graph::Graph& motif) {
+  Recovery r;
+  for (const core::SignificantSubgraph& sg : result.subgraphs) {
+    if (sg.subgraph.num_edges() < 4) continue;
+    if (graph::IsSubgraphIsomorphic(sg.subgraph, motif) ||
+        graph::IsSubgraphIsomorphic(motif, sg.subgraph)) {
+      if (!r.found || sg.vector_pvalue < r.best_pvalue) {
+        r.best_pvalue = sg.vector_pvalue;
+        r.db_frequency = sg.db_frequency;
+        r.pattern_edges = sg.subgraph.num_edges();
+      }
+      r.found = true;
+    }
+  }
+  return r;
+}
+
+core::GraphSigResult MineActives(const graph::GraphDatabase& db,
+                                 features::Featurizer featurizer) {
+  // The paper's quality protocol: separate the medically active set and
+  // mine it (Section VI-C).
+  graph::GraphDatabase actives = db.FilterByTag(1);
+  core::GraphSigConfig config;
+  config.cutoff_radius = 4;
+  config.min_freq_percent = 2.0;
+  config.rwr.featurizer = featurizer;
+  core::GraphSig miner(config);
+  core::GraphSigResult result = miner.Mine(actives);
+  // Report frequency over the FULL database (that is Fig. 16's axis).
+  for (core::SignificantSubgraph& sg : result.subgraphs) {
+    int64_t freq = 0;
+    for (const graph::Graph& g : db.graphs()) {
+      freq += graph::IsSubgraphIsomorphic(sg.subgraph, g);
+    }
+    sg.db_frequency = freq;
+  }
+  return result;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bench::BenchArgs args = bench::BenchArgs::Parse(argc, argv);
+  bench::PrintHeader(
+      "Figs. 13-15 — recovery of known active cores from active sets",
+      "GraphSig retrieves the AZT/FDT cores (AIDS), the phosphonium core "
+      "(UACC-257/Melanoma) and the Sb/Bi analog pair (MOLT-4/Leukemia), "
+      "all at low global frequency",
+      args);
+
+  struct Target {
+    const char* dataset;
+    const char* motif_name;
+    graph::Graph motif;
+  };
+  std::vector<Target> targets;
+  targets.push_back({"AIDS", "azt_core (Fig. 13a)", data::AztCoreMotif()});
+  targets.push_back({"AIDS", "fdt_core (Fig. 13b)", data::FdtCoreMotif()});
+  targets.push_back(
+      {"UACC-257", "phosphonium (Fig. 14)", data::PhosphoniumMotif()});
+  targets.push_back({"MOLT-4", "sb_core (Fig. 15a)",
+                     data::MetalloidMotif(data::kAntimony)});
+  targets.push_back({"MOLT-4", "bi_core (Fig. 15b)",
+                     data::MetalloidMotif(data::kBismuth)});
+
+  for (features::Featurizer featurizer :
+       {features::Featurizer::kRwr, features::Featurizer::kWindowCount}) {
+    const bool rwr = featurizer == features::Featurizer::kRwr;
+    std::printf("\n--- featurizer: %s %s---\n", rwr ? "RWR" : "window-count",
+                rwr ? "(paper) " : "(ablation) ");
+    util::TablePrinter table({"dataset", "motif", "recovered",
+                              "pattern edges", "best p-value",
+                              "global freq(%)"});
+    std::string current;
+    core::GraphSigResult result;
+    graph::GraphDatabase db;
+    for (const Target& t : targets) {
+      if (t.dataset != current) {
+        current = t.dataset;
+        data::DatasetOptions options;
+        options.size = args.Scaled(600);
+        options.seed = args.seed;
+        options.active_fraction = 0.10;  // enough actives to mine
+        db = (current == "AIDS")
+                 ? data::MakeAidsLike(options)
+                 : data::MakeCancerScreen(current, options);
+        result = MineActives(db, featurizer);
+      }
+      Recovery r = CheckRecovery(result, t.motif);
+      table.AddRow(
+          {t.dataset, t.motif_name, r.found ? "YES" : "no",
+           r.found ? std::to_string(r.pattern_edges) : "-",
+           r.found ? util::StrPrintf("%.2e", r.best_pvalue) : "-",
+           r.found && r.db_frequency >= 0
+               ? util::TablePrinter::Num(
+                     100.0 * r.db_frequency / db.size(), 2)
+               : "-"});
+    }
+    table.Print(std::cout);
+  }
+  std::printf(
+      "\nNote: the Sb/Bi pair differs only in the metal atom (periodic-"
+      "table analogs); both sit well below 1%% global frequency, which is "
+      "exactly the regime frequent-subgraph miners cannot reach.\n");
+  return 0;
+}

@@ -1,0 +1,89 @@
+// Reproduces Fig. 16: the relationship between p-value and frequency of
+// the significant subgraphs mined at maxPvalue = 0.1. The paper's
+// points: (a) many significant subgraphs sit below 1% frequency — the
+// regime frequent miners cannot reach; (b) benzene, ubiquitous at ~70%
+// frequency, is NOT significant.
+
+#include <cstdio>
+#include <iostream>
+
+#include "bench/bench_util.h"
+#include "core/graphsig.h"
+#include "data/datasets.h"
+#include "data/motifs.h"
+#include "features/rwr.h"
+#include "fvmine/fvmine.h"
+#include "graph/isomorphism.h"
+#include "stats/pvalue_model.h"
+#include "util/table.h"
+
+int main(int argc, char** argv) {
+  using namespace graphsig;
+  bench::BenchArgs args = bench::BenchArgs::Parse(argc, argv);
+  bench::PrintHeader(
+      "Fig. 16 — p-value vs frequency of mined significant subgraphs",
+      "many significant subgraphs lie below 1% frequency; benzene (~70% "
+      "frequency) is not significant",
+      args);
+
+  // MOLT-4 carries the rare Sb/Bi analog cores, so its active set holds
+  // significant patterns on both sides of the 1% frequency line.
+  data::DatasetOptions options;
+  options.size = args.Scaled(600);
+  options.seed = args.seed;
+  options.active_fraction = 0.10;
+  graph::GraphDatabase db = data::MakeCancerScreen("MOLT-4", options);
+  graph::GraphDatabase actives = db.FilterByTag(1);
+
+  core::GraphSigConfig config;
+  config.cutoff_radius = 4;
+  config.min_freq_percent = 2.0;
+  config.max_pvalue = 0.1;
+  core::GraphSig miner(config);
+  core::GraphSigResult result = miner.Mine(actives);
+
+  // Frequency over the FULL database, like the paper's x-axis.
+  int below_1pct = 0, below_5pct = 0;
+  util::TablePrinter table({"pattern", "edges", "p-value", "freq(%)"});
+  int row = 0;
+  for (core::SignificantSubgraph& sg : result.subgraphs) {
+    int64_t freq = 0;
+    for (const graph::Graph& g : db.graphs()) {
+      freq += graph::IsSubgraphIsomorphic(sg.subgraph, g);
+    }
+    const double pct = 100.0 * freq / db.size();
+    below_1pct += pct < 1.0;
+    below_5pct += pct < 5.0;
+    if (row < 20) {
+      table.AddRow({util::StrPrintf("#%d", row),
+                    std::to_string(sg.subgraph.num_edges()),
+                    util::StrPrintf("%.2e", sg.vector_pvalue),
+                    util::TablePrinter::Num(pct, 2)});
+    }
+    ++row;
+  }
+  table.Print(std::cout);
+  std::printf(
+      "\nsignificant subgraphs: %zu | below 1%% frequency: %d | below 5%%: "
+      "%d\n",
+      result.subgraphs.size(), below_1pct, below_5pct);
+
+  // Benzene control: compute its best p-value over the anchor groups the
+  // way GraphSig scores patterns — floor of the vectors of its carbon
+  // nodes' regions. Simpler, equivalent check: was benzene (or any
+  // pattern isomorphic to it) mined as significant?
+  const graph::Graph benzene = data::BenzeneMotif();
+  bool benzene_mined = false;
+  for (const core::SignificantSubgraph& sg : result.subgraphs) {
+    if (graph::AreIsomorphic(sg.subgraph, benzene)) benzene_mined = true;
+  }
+  int64_t benzene_freq = 0;
+  for (const graph::Graph& g : db.graphs()) {
+    benzene_freq += graph::IsSubgraphIsomorphic(benzene, g);
+  }
+  std::printf(
+      "benzene: frequency %.1f%% (paper: ~70%%), mined as significant: %s "
+      "(paper: not significant)\n",
+      100.0 * benzene_freq / db.size(), benzene_mined ? "YES" : "no");
+  return 0;
+}

@@ -1,0 +1,145 @@
+// Google-benchmark microbenchmarks of GraphSig's inner kernels: RWR
+// featurization, subgraph isomorphism, canonical codes, FVMine, the
+// p-value model, and the Hungarian assignment. These are the unit costs
+// the figure-level benches compose.
+
+#include <benchmark/benchmark.h>
+
+#include "classify/hungarian.h"
+#include "core/graphsig.h"
+#include "data/datasets.h"
+#include "features/rwr.h"
+#include "fsm/dfs_code.h"
+#include "fvmine/fvmine.h"
+#include "graph/isomorphism.h"
+#include "stats/pvalue_model.h"
+#include "util/rng.h"
+
+namespace {
+
+using namespace graphsig;
+
+graph::GraphDatabase SmallDb(size_t size) {
+  data::DatasetOptions options;
+  options.size = size;
+  options.seed = 42;
+  return data::MakeAidsLike(options);
+}
+
+void BM_RwrPerGraph(benchmark::State& state) {
+  graph::GraphDatabase db = SmallDb(32);
+  auto fs = features::FeatureSpace::ForChemicalDatabase(db, 5);
+  features::RwrConfig config;
+  size_t i = 0;
+  for (auto _ : state) {
+    auto vectors = features::GraphToVectors(
+        db.graph(i % db.size()), static_cast<int32_t>(i % db.size()), fs,
+        config);
+    benchmark::DoNotOptimize(vectors);
+    ++i;
+  }
+}
+BENCHMARK(BM_RwrPerGraph);
+
+void BM_SubgraphIsomorphism(benchmark::State& state) {
+  graph::GraphDatabase db = SmallDb(64);
+  graph::Graph motif = data::AztCoreMotif();
+  size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        graph::IsSubgraphIsomorphic(motif, db.graph(i % db.size())));
+    ++i;
+  }
+}
+BENCHMARK(BM_SubgraphIsomorphism);
+
+void BM_CanonicalCode(benchmark::State& state) {
+  graph::GraphDatabase db = SmallDb(64);
+  size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(fsm::CanonicalCode(db.graph(i % db.size())));
+    ++i;
+  }
+}
+BENCHMARK(BM_CanonicalCode);
+
+void BM_PValue(benchmark::State& state) {
+  util::Rng rng(7);
+  std::vector<features::FeatureVec> population;
+  for (int i = 0; i < 500; ++i) {
+    features::FeatureVec v(40);
+    for (auto& x : v) {
+      x = rng.NextBernoulli(0.3)
+              ? static_cast<int16_t>(1 + rng.NextBounded(9))
+              : 0;
+    }
+    population.push_back(std::move(v));
+  }
+  std::vector<const features::FeatureVec*> refs;
+  for (const auto& v : population) refs.push_back(&v);
+  stats::FeaturePriors priors(refs, 10);
+  size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        priors.PValue(population[i % population.size()], 25));
+    ++i;
+  }
+}
+BENCHMARK(BM_PValue);
+
+void BM_FvMineGroup(benchmark::State& state) {
+  util::Rng rng(11);
+  std::vector<features::FeatureVec> population;
+  for (int i = 0; i < 200; ++i) {
+    features::FeatureVec v(20);
+    for (auto& x : v) {
+      x = rng.NextBernoulli(0.25)
+              ? static_cast<int16_t>(1 + rng.NextBounded(4))
+              : 0;
+    }
+    population.push_back(std::move(v));
+  }
+  std::vector<const features::FeatureVec*> refs;
+  for (const auto& v : population) refs.push_back(&v);
+  stats::FeaturePriors priors(refs, 10);
+  fvmine::FvMineConfig config;
+  config.min_support = 10;
+  config.max_pvalue = 0.05;
+  for (auto _ : state) {
+    auto result = fvmine::FvMine(refs, priors, config);
+    benchmark::DoNotOptimize(result);
+  }
+}
+BENCHMARK(BM_FvMineGroup);
+
+void BM_Hungarian(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  util::Rng rng(13);
+  std::vector<std::vector<double>> scores(n, std::vector<double>(n));
+  for (auto& row : scores) {
+    for (double& x : row) x = rng.NextDouble();
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(classify::MaxWeightAssignment(scores));
+  }
+}
+BENCHMARK(BM_Hungarian)->Arg(10)->Arg(25)->Arg(50);
+
+void BM_GraphSigEndToEnd(benchmark::State& state) {
+  graph::GraphDatabase db = SmallDb(static_cast<size_t>(state.range(0)));
+  core::GraphSigConfig config;
+  config.cutoff_radius = 4;
+  config.compute_db_frequency = false;
+  core::GraphSig miner(config);
+  for (auto _ : state) {
+    auto result = miner.Mine(db);
+    benchmark::DoNotOptimize(result);
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(db.size()));
+}
+BENCHMARK(BM_GraphSigEndToEnd)->Arg(50)->Arg(100);
+
+}  // namespace
+
+BENCHMARK_MAIN();

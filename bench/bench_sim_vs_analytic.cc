@@ -1,0 +1,87 @@
+// Section VII comparison: GraphSig's analytical feature-space p-value vs
+// the randomization/simulation approach (Milo et al.) the paper argues
+// against. Two claims are measured:
+//   (1) cost — the simulation needs N full randomized-database support
+//       counts per pattern, the analytic model one featurization pass;
+//   (2) resolution — the simulation can never report below 1/(N+1),
+//       while significant patterns have p-values many orders below that.
+// The two models also differ in their NULL: edge rewiring destroys ring
+// structure, so ubiquitous rings (benzene) look "significant" under the
+// simulation null while GraphSig's empirical feature priors — estimated
+// from the data itself — correctly absorb them.
+
+#include <cstdio>
+#include <iostream>
+
+#include "bench/bench_util.h"
+#include "core/pattern_score.h"
+#include "data/datasets.h"
+#include "data/elements.h"
+#include "data/motifs.h"
+#include "stats/simulation.h"
+#include "util/table.h"
+#include "util/timer.h"
+
+int main(int argc, char** argv) {
+  using namespace graphsig;
+  bench::BenchArgs args = bench::BenchArgs::Parse(argc, argv);
+  bench::PrintHeader(
+      "Analytic (GraphSig) vs simulation (Milo-style) p-values",
+      "the analytic model avoids generating random databases and can "
+      "resolve p-values below the simulation's 1/(N+1) floor",
+      args);
+
+  data::DatasetOptions options;
+  options.size = args.Scaled(300);
+  options.seed = args.seed;
+  options.active_fraction = 0.10;
+  graph::GraphDatabase db = data::MakeCancerScreen("MOLT-4", options);
+
+  struct Query {
+    const char* name;
+    graph::Graph pattern;
+  };
+  graph::Graph cc_edge;
+  cc_edge.AddVertex(data::kCarbon);
+  cc_edge.AddVertex(data::kCarbon);
+  cc_edge.AddEdge(0, 1, data::kSingleBond);
+
+  std::vector<Query> queries;
+  queries.push_back({"C-C edge (trivial)", cc_edge});
+  queries.push_back({"benzene (frequent)", data::BenzeneMotif()});
+  queries.push_back(
+      {"MOLT-4 signature", data::SignatureMotif("MOLT-4")});
+  queries.push_back(
+      {"Sb core (rare)", data::MetalloidMotif(data::kAntimony)});
+
+  const int kRandomDatabases = 49;
+  core::GraphSigConfig config;
+
+  util::TablePrinter table({"pattern", "freq", "analytic p", "time(s)",
+                            "simulated p", "time(s)", "speedup"});
+  for (const Query& q : queries) {
+    util::WallTimer analytic_timer;
+    core::PatternScore analytic = core::ScorePattern(db, q.pattern, config);
+    const double analytic_seconds = analytic_timer.ElapsedSeconds();
+    auto simulated = stats::SimulatePatternPValue(
+        db, q.pattern, kRandomDatabases, args.seed);
+    table.AddRow(
+        {q.name, std::to_string(analytic.frequency),
+         analytic.found ? util::StrPrintf("%.2e", analytic.p_value) : "-",
+         util::TablePrinter::Num(analytic_seconds, 3),
+         util::StrPrintf("%.3f", simulated.p_value),
+         util::TablePrinter::Num(simulated.seconds, 3),
+         util::StrPrintf("%.0fx", simulated.seconds /
+                                      std::max(analytic_seconds, 1e-9))});
+  }
+  table.Print(std::cout);
+  std::printf(
+      "\nsimulation floor: p >= 1/(N+1) = %.3f with N = %d random "
+      "databases;\nthe analytic model resolves the rare core orders of "
+      "magnitude deeper at a fraction of the cost.\nNote the null-model "
+      "difference: rewiring destroys rings, so benzene pins to the floor "
+      "under simulation\nwhile the data-estimated feature priors "
+      "correctly rate it unsurprising.\n",
+      1.0 / (kRandomDatabases + 1), kRandomDatabases);
+  return 0;
+}

@@ -1,0 +1,73 @@
+#ifndef GRAPHSIG_BENCH_BENCH_UTIL_H_
+#define GRAPHSIG_BENCH_BENCH_UTIL_H_
+
+// Shared plumbing for the figure/table reproduction benches. Every bench
+// binary prints (a) the experiment it reproduces, (b) the seed and scale
+// it ran at, and (c) a paper-style table of the measured series.
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "util/strings.h"
+
+namespace graphsig::bench {
+
+// Minimal --flag=value parser: benches accept --scale=<double> (dataset
+// size multiplier relative to the bench's default), --seed=<u64>, and
+// --budget=<seconds> (cap for the deliberately-exponential baselines).
+struct BenchArgs {
+  double scale = 1.0;
+  uint64_t seed = 1;
+  double budget_seconds = 20.0;
+
+  static BenchArgs Parse(int argc, char** argv) {
+    BenchArgs args;
+    for (int i = 1; i < argc; ++i) {
+      std::string_view arg = argv[i];
+      auto take = [&](std::string_view prefix) -> std::string {
+        return std::string(arg.substr(prefix.size()));
+      };
+      if (util::StartsWith(arg, "--scale=")) {
+        auto v = util::ParseDouble(take("--scale="));
+        if (v.ok()) args.scale = v.value();
+      } else if (util::StartsWith(arg, "--seed=")) {
+        auto v = util::ParseInt(take("--seed="));
+        if (v.ok()) args.seed = static_cast<uint64_t>(v.value());
+      } else if (util::StartsWith(arg, "--budget=")) {
+        auto v = util::ParseDouble(take("--budget="));
+        if (v.ok()) args.budget_seconds = v.value();
+      }
+    }
+    return args;
+  }
+
+  size_t Scaled(size_t base) const {
+    double s = static_cast<double>(base) * scale;
+    return s < 1.0 ? 1 : static_cast<size_t>(s);
+  }
+};
+
+inline void PrintHeader(const std::string& experiment,
+                        const std::string& paper_claim,
+                        const BenchArgs& args) {
+  std::printf("==============================================================\n");
+  std::printf("%s\n", experiment.c_str());
+  std::printf("Paper: %s\n", paper_claim.c_str());
+  std::printf("(seed=%llu scale=%.2f budget=%.0fs)\n",
+              static_cast<unsigned long long>(args.seed), args.scale,
+              args.budget_seconds);
+  std::printf("==============================================================\n");
+}
+
+// Formats a completed/DNF time cell the way the paper reports gSpan/FSG
+// at 0.1%: runs that blow the budget print as ">Bs (DNF)".
+inline std::string TimeCell(double seconds, bool completed,
+                            double budget_seconds) {
+  if (completed) return util::StrPrintf("%.3f", seconds);
+  return util::StrPrintf(">%.0f (DNF)", budget_seconds);
+}
+
+}  // namespace graphsig::bench
+
+#endif  // GRAPHSIG_BENCH_BENCH_UTIL_H_

@@ -1,0 +1,92 @@
+// Graph classification scenario (the paper's Section V / VI-D): train
+// the significant-pattern k-NN classifier on a balanced sample of a
+// cancer screen, score the held-out compounds, and report AUC next to
+// the LEAP-style pattern baseline.
+//
+//   $ ./activity_classifier [--size=N] [--screen=NAME]
+
+#include <cstdio>
+#include <string>
+
+#include "classify/auc.h"
+#include "classify/evaluation.h"
+#include "classify/leap.h"
+#include "classify/sig_knn.h"
+#include "data/datasets.h"
+#include "util/strings.h"
+#include "util/timer.h"
+
+int main(int argc, char** argv) {
+  using namespace graphsig;
+  size_t size = 400;
+  std::string screen = "MCF-7";
+  for (int i = 1; i < argc; ++i) {
+    std::string_view arg = argv[i];
+    if (util::StartsWith(arg, "--size=")) {
+      auto v = util::ParseInt(std::string(arg.substr(7)));
+      if (v.ok()) size = static_cast<size_t>(v.value());
+    } else if (util::StartsWith(arg, "--screen=")) {
+      screen = std::string(arg.substr(9));
+    }
+  }
+
+  data::DatasetOptions options;
+  options.size = size;
+  options.seed = 17;
+  options.active_fraction = 0.10;
+  graph::GraphDatabase db = data::MakeCancerScreen(screen, options);
+  std::printf("%s screen: %zu compounds (%zu active)\n\n", screen.c_str(),
+              db.size(), db.FilterByTag(1).size());
+
+  // Balanced training sample (the paper's protocol: a fraction of the
+  // actives plus an equal number of inactives).
+  graph::GraphDatabase train = classify::BalancedTrainingSample(db, 0.5, 3);
+  std::printf("balanced training sample: %zu graphs\n", train.size());
+
+  // GraphSig classifier.
+  classify::SigKnnConfig sig_config;
+  sig_config.mining.cutoff_radius = 4;
+  sig_config.mining.min_freq_percent = 2.0;
+  classify::GraphSigClassifier sig(sig_config);
+  util::WallTimer sig_timer;
+  sig.Train(train);
+  std::printf("GraphSig: %zu positive / %zu negative significant vectors "
+              "(train %.2fs)\n",
+              sig.positive_vectors().size(), sig.negative_vectors().size(),
+              sig_timer.ElapsedSeconds());
+
+  // LEAP-style baseline.
+  classify::LeapConfig leap_config;
+  leap_config.min_support_percent = 10.0;
+  leap_config.max_edges = 6;
+  classify::LeapClassifier leap(leap_config);
+  util::WallTimer leap_timer;
+  leap.Train(train);
+  std::printf("LEAP: %zu discriminative patterns (train %.2fs)\n\n",
+              leap.patterns().size(), leap_timer.ElapsedSeconds());
+
+  // Score every compound and report AUC for both.
+  std::vector<classify::ScoredExample> sig_scored, leap_scored;
+  for (const graph::Graph& g : db.graphs()) {
+    sig_scored.push_back({sig.Score(g), g.tag() == 1});
+    leap_scored.push_back({leap.Score(g), g.tag() == 1});
+  }
+  std::printf("AUC  GraphSig: %.3f   LEAP: %.3f\n",
+              classify::AreaUnderRoc(sig_scored),
+              classify::AreaUnderRoc(leap_scored));
+
+  // Classify a few individual compounds.
+  std::printf("\nsample decisions (GraphSig):\n");
+  int shown = 0;
+  for (const graph::Graph& g : db.graphs()) {
+    if (shown >= 6) break;
+    if (shown % 2 == 0 && g.tag() != 1) continue;  // alternate classes
+    if (shown % 2 == 1 && g.tag() != 0) continue;
+    std::printf("  compound %lld: truth=%s predicted=%s (score %+.3f)\n",
+                static_cast<long long>(g.id()),
+                g.tag() == 1 ? "active" : "inactive",
+                sig.Classify(g) ? "active" : "inactive", sig.Score(g));
+    ++shown;
+  }
+  return 0;
+}

@@ -1,0 +1,90 @@
+// Drug-discovery scenario (the paper's Section VI-C): take the set of
+// compounds that screened ACTIVE against a disease, mine it for
+// significant substructures, and inspect the cores that emerge. On the
+// synthetic AIDS-like screen, the planted AZT/FDT cores (Fig. 13) come
+// back as the most significant patterns, and the ubiquitous benzene ring
+// does not.
+//
+//   $ ./drug_discovery [--size=N]
+
+#include <cstdio>
+#include <string>
+
+#include "core/graphsig.h"
+#include "data/datasets.h"
+#include "data/elements.h"
+#include "data/motifs.h"
+#include "graph/isomorphism.h"
+#include "util/strings.h"
+
+int main(int argc, char** argv) {
+  using namespace graphsig;
+  size_t size = 600;
+  for (int i = 1; i < argc; ++i) {
+    std::string_view arg = argv[i];
+    if (util::StartsWith(arg, "--size=")) {
+      auto v = util::ParseInt(std::string(arg.substr(7)));
+      if (v.ok()) size = static_cast<size_t>(v.value());
+    }
+  }
+
+  data::DatasetOptions options;
+  options.size = size;
+  options.seed = 7;
+  options.active_fraction = 0.10;
+  graph::GraphDatabase db = data::MakeAidsLike(options);
+  graph::GraphDatabase actives = db.FilterByTag(1);
+  std::printf("AIDS-like screen: %zu compounds, %zu active\n\n", db.size(),
+              actives.size());
+
+  core::GraphSigConfig config;
+  config.cutoff_radius = 4;
+  config.min_freq_percent = 2.0;
+  core::GraphSig miner(config);
+  core::GraphSigResult result = miner.Mine(actives);
+  std::printf("significant substructures in the active set: %zu\n\n",
+              result.subgraphs.size());
+
+  // Compare against the known drug cores.
+  const graph::Graph azt = data::AztCoreMotif();
+  const graph::Graph fdt = data::FdtCoreMotif();
+  const graph::Graph benzene = data::BenzeneMotif();
+  int azt_hits = 0, fdt_hits = 0, benzene_hits = 0;
+  for (const core::SignificantSubgraph& sg : result.subgraphs) {
+    if (sg.subgraph.num_edges() >= 4 &&
+        (graph::IsSubgraphIsomorphic(sg.subgraph, azt) ||
+         graph::IsSubgraphIsomorphic(azt, sg.subgraph))) {
+      ++azt_hits;
+    }
+    if (sg.subgraph.num_edges() >= 4 &&
+        (graph::IsSubgraphIsomorphic(sg.subgraph, fdt) ||
+         graph::IsSubgraphIsomorphic(fdt, sg.subgraph))) {
+      ++fdt_hits;
+    }
+    if (graph::AreIsomorphic(sg.subgraph, benzene)) ++benzene_hits;
+  }
+  std::printf("patterns matching the AZT core (azido-pyrimidine): %d\n",
+              azt_hits);
+  std::printf("patterns matching the FDT core (fluorinated analog): %d\n",
+              fdt_hits);
+  std::printf("patterns that are just benzene: %d (expected 0 — frequent "
+              "but not significant)\n\n",
+              benzene_hits);
+
+  // Print the single most significant pattern as a structure diagram.
+  if (!result.subgraphs.empty()) {
+    const core::SignificantSubgraph& top = result.subgraphs.front();
+    std::printf("most significant pattern (p=%.3e, global frequency "
+                "%lld/%zu):\n",
+                top.vector_pvalue,
+                static_cast<long long>(top.db_frequency), actives.size());
+    for (const graph::EdgeRecord& e : top.subgraph.edges()) {
+      std::printf("  %s(%d) %s %s(%d)\n",
+                  data::AtomSymbol(top.subgraph.vertex_label(e.u)).c_str(),
+                  e.u, data::BondSymbol(e.label).c_str(),
+                  data::AtomSymbol(top.subgraph.vertex_label(e.v)).c_str(),
+                  e.v);
+    }
+  }
+  return 0;
+}

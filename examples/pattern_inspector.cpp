@@ -1,0 +1,88 @@
+// Pattern inspector: "is this substructure significant in my screen?"
+// Takes a SMILES pattern, scores it against a dataset with GraphSig's
+// analytic feature-space model AND the Milo-style randomization
+// baseline, and emits a Graphviz rendering of the pattern.
+//
+//   $ ./pattern_inspector [--pattern=SMILES] [--size=N]
+//
+// Defaults inspect the phosphonium core against a UACC-257-like screen.
+
+#include <cstdio>
+#include <string>
+
+#include "core/pattern_score.h"
+#include "data/datasets.h"
+#include "data/elements.h"
+#include "data/motifs.h"
+#include "data/smiles.h"
+#include "graph/dot.h"
+#include "stats/simulation.h"
+#include "util/strings.h"
+#include "util/timer.h"
+
+int main(int argc, char** argv) {
+  using namespace graphsig;
+  std::string pattern_smiles;
+  size_t size = 400;
+  for (int i = 1; i < argc; ++i) {
+    std::string_view arg = argv[i];
+    if (util::StartsWith(arg, "--pattern=")) {
+      pattern_smiles = std::string(arg.substr(10));
+    } else if (util::StartsWith(arg, "--size=")) {
+      auto v = util::ParseInt(std::string(arg.substr(7)));
+      if (v.ok()) size = static_cast<size_t>(v.value());
+    }
+  }
+
+  graph::Graph pattern;
+  if (pattern_smiles.empty()) {
+    pattern = data::PhosphoniumMotif();
+    pattern_smiles = data::WriteSmiles(pattern);
+  } else {
+    auto parsed = data::ParseSmiles(pattern_smiles);
+    if (!parsed.ok()) {
+      std::fprintf(stderr, "error: %s\n",
+                   parsed.status().ToString().c_str());
+      return 1;
+    }
+    pattern = std::move(parsed).value();
+  }
+  std::printf("pattern: %s (%d atoms, %d bonds)\n", pattern_smiles.c_str(),
+              pattern.num_vertices(), pattern.num_edges());
+
+  data::DatasetOptions options;
+  options.size = size;
+  options.seed = 23;
+  options.active_fraction = 0.10;
+  graph::GraphDatabase db = data::MakeCancerScreen("UACC-257", options);
+  std::printf("screen: UACC-257-like, %zu molecules\n\n", db.size());
+
+  // Analytic feature-space p-value (the GraphSig/GraphRank direction).
+  core::GraphSigConfig config;
+  util::WallTimer analytic_timer;
+  core::PatternScore analytic = core::ScorePattern(db, pattern, config);
+  const double analytic_seconds = analytic_timer.ElapsedSeconds();
+  if (!analytic.found) {
+    std::printf("the pattern does not occur in the screen.\n");
+    return 0;
+  }
+  std::printf("occurrences: %lld/%zu molecules (%.2f%%)\n",
+              static_cast<long long>(analytic.frequency), db.size(),
+              100.0 * static_cast<double>(analytic.frequency) / db.size());
+  std::printf("analytic p-value: %.3e  (%.3fs)\n", analytic.p_value,
+              analytic_seconds);
+
+  // Randomization baseline (degree-preserving rewiring).
+  auto simulated = stats::SimulatePatternPValue(db, pattern,
+                                                /*num_databases=*/49,
+                                                /*seed=*/101);
+  std::printf("simulated p-value: %.3f over 49 random databases (%.3fs; "
+              "floor 1/50 = 0.020)\n\n",
+              simulated.p_value, simulated.seconds);
+
+  std::printf("Graphviz rendering (pipe into `dot -Tpng`):\n%s",
+              graph::ToDot(pattern, "pattern", data::AtomSymbol,
+                           data::BondSymbol)
+                  .c_str());
+  return 0;
+}

@@ -1,0 +1,83 @@
+#include "classify/auc.h"
+
+#include <algorithm>
+
+#include "util/check.h"
+
+namespace graphsig::classify {
+
+double AreaUnderRoc(const std::vector<ScoredExample>& examples) {
+  int64_t positives = 0;
+  int64_t negatives = 0;
+  for (const ScoredExample& e : examples) {
+    if (e.positive) {
+      ++positives;
+    } else {
+      ++negatives;
+    }
+  }
+  GS_CHECK_GT(positives, 0);
+  GS_CHECK_GT(negatives, 0);
+
+  std::vector<ScoredExample> sorted = examples;
+  std::sort(sorted.begin(), sorted.end(),
+            [](const ScoredExample& a, const ScoredExample& b) {
+              return a.score < b.score;
+            });
+  // Midrank assignment over tie groups; U statistic from positive ranks.
+  double rank_sum_positive = 0.0;
+  size_t i = 0;
+  while (i < sorted.size()) {
+    size_t j = i;
+    while (j < sorted.size() && sorted[j].score == sorted[i].score) ++j;
+    const double midrank = 0.5 * static_cast<double>(i + 1 + j);  // 1-based
+    for (size_t k = i; k < j; ++k) {
+      if (sorted[k].positive) rank_sum_positive += midrank;
+    }
+    i = j;
+  }
+  const double u = rank_sum_positive -
+                   static_cast<double>(positives) * (positives + 1) / 2.0;
+  return u / (static_cast<double>(positives) * negatives);
+}
+
+std::vector<RocPoint> RocCurve(const std::vector<ScoredExample>& examples) {
+  int64_t positives = 0;
+  int64_t negatives = 0;
+  for (const ScoredExample& e : examples) {
+    if (e.positive) {
+      ++positives;
+    } else {
+      ++negatives;
+    }
+  }
+  GS_CHECK_GT(positives, 0);
+  GS_CHECK_GT(negatives, 0);
+
+  std::vector<ScoredExample> sorted = examples;
+  std::sort(sorted.begin(), sorted.end(),
+            [](const ScoredExample& a, const ScoredExample& b) {
+              return a.score > b.score;
+            });
+  std::vector<RocPoint> curve;
+  curve.push_back({0.0, 0.0});
+  int64_t tp = 0, fp = 0;
+  size_t i = 0;
+  while (i < sorted.size()) {
+    size_t j = i;
+    while (j < sorted.size() && sorted[j].score == sorted[i].score) ++j;
+    for (size_t k = i; k < j; ++k) {
+      if (sorted[k].positive) {
+        ++tp;
+      } else {
+        ++fp;
+      }
+    }
+    curve.push_back({static_cast<double>(fp) / negatives,
+                     static_cast<double>(tp) / positives});
+    i = j;
+  }
+  return curve;
+}
+
+}  // namespace graphsig::classify

@@ -1,0 +1,31 @@
+#ifndef GRAPHSIG_CLASSIFY_AUC_H_
+#define GRAPHSIG_CLASSIFY_AUC_H_
+
+#include <vector>
+
+namespace graphsig::classify {
+
+// One scored example: the classifier's decision value and the truth.
+struct ScoredExample {
+  double score;
+  bool positive;
+};
+
+// Area under the ROC curve via the rank-sum (Mann-Whitney) estimator
+// with midrank tie handling. Requires at least one positive and one
+// negative example. 0.5 = chance, 1.0 = perfect ranking.
+double AreaUnderRoc(const std::vector<ScoredExample>& examples);
+
+// One point of an ROC curve.
+struct RocPoint {
+  double false_positive_rate;
+  double true_positive_rate;
+};
+
+// The full ROC curve (threshold swept over distinct scores, descending),
+// starting at (0,0) and ending at (1,1).
+std::vector<RocPoint> RocCurve(const std::vector<ScoredExample>& examples);
+
+}  // namespace graphsig::classify
+
+#endif  // GRAPHSIG_CLASSIFY_AUC_H_

@@ -1,0 +1,34 @@
+#ifndef GRAPHSIG_CLASSIFY_CLASSIFIER_H_
+#define GRAPHSIG_CLASSIFY_CLASSIFIER_H_
+
+#include <string>
+
+#include "graph/graph_database.h"
+
+namespace graphsig::classify {
+
+// Interface for the binary graph classifiers compared in Section VI-D.
+// Training labels are the graphs' tags (1 = positive/active, 0 =
+// negative/inactive).
+class GraphClassifier {
+ public:
+  virtual ~GraphClassifier() = default;
+
+  // Fits the model. Called once per cross-validation fold.
+  virtual void Train(const graph::GraphDatabase& training) = 0;
+
+  // Continuous decision value for a query graph; larger means more
+  // positive. The ROC/AUC machinery varies a threshold over this.
+  virtual double Score(const graph::Graph& query) const = 0;
+
+  // Hard decision at threshold 0.
+  bool Classify(const graph::Graph& query) const {
+    return Score(query) > 0.0;
+  }
+
+  virtual std::string name() const = 0;
+};
+
+}  // namespace graphsig::classify
+
+#endif  // GRAPHSIG_CLASSIFY_CLASSIFIER_H_

@@ -1,0 +1,128 @@
+#include "classify/evaluation.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "classify/auc.h"
+#include "util/check.h"
+#include "util/rng.h"
+#include "util/timer.h"
+
+namespace graphsig::classify {
+namespace {
+
+// Splits indices into `folds` chunks after shuffling.
+std::vector<std::vector<size_t>> FoldSplit(std::vector<size_t> indices,
+                                           int folds, util::Rng* rng) {
+  rng->Shuffle(&indices);
+  std::vector<std::vector<size_t>> out(folds);
+  for (size_t i = 0; i < indices.size(); ++i) {
+    out[i % folds].push_back(indices[i]);
+  }
+  return out;
+}
+
+graph::GraphDatabase BalancedFromPools(
+    const graph::GraphDatabase& db, const std::vector<size_t>& pos_pool,
+    const std::vector<size_t>& neg_pool, double active_fraction,
+    util::Rng* rng) {
+  GS_CHECK(!pos_pool.empty());
+  GS_CHECK(!neg_pool.empty());
+  std::vector<size_t> pos = pos_pool;
+  std::vector<size_t> neg = neg_pool;
+  rng->Shuffle(&pos);
+  rng->Shuffle(&neg);
+  size_t take_pos = std::max<size_t>(
+      1, static_cast<size_t>(std::llround(active_fraction * pos.size())));
+  take_pos = std::min(take_pos, pos.size());
+  const size_t take_neg = std::min(take_pos, neg.size());
+
+  std::vector<size_t> chosen(pos.begin(), pos.begin() + take_pos);
+  chosen.insert(chosen.end(), neg.begin(), neg.begin() + take_neg);
+  rng->Shuffle(&chosen);
+  return db.Subset(chosen);
+}
+
+}  // namespace
+
+graph::GraphDatabase BalancedTrainingSample(const graph::GraphDatabase& pool,
+                                            double active_fraction,
+                                            uint64_t seed) {
+  util::Rng rng(seed);
+  std::vector<size_t> pos, neg;
+  for (size_t i = 0; i < pool.size(); ++i) {
+    (pool.graph(i).tag() == 1 ? pos : neg).push_back(i);
+  }
+  return BalancedFromPools(pool, pos, neg, active_fraction, &rng);
+}
+
+EvalSummary CrossValidate(const graph::GraphDatabase& db,
+                          const ClassifierFactory& factory,
+                          const EvalOptions& options) {
+  GS_CHECK_GE(options.folds, 2);
+  util::Rng rng(options.seed);
+
+  std::vector<size_t> pos, neg;
+  for (size_t i = 0; i < db.size(); ++i) {
+    (db.graph(i).tag() == 1 ? pos : neg).push_back(i);
+  }
+  GS_CHECK_GE(static_cast<int>(pos.size()), options.folds);
+  GS_CHECK_GE(static_cast<int>(neg.size()), options.folds);
+
+  auto pos_folds = FoldSplit(pos, options.folds, &rng);
+  auto neg_folds = FoldSplit(neg, options.folds, &rng);
+
+  EvalSummary summary;
+  for (int fold = 0; fold < options.folds; ++fold) {
+    std::vector<size_t> train_pos, train_neg, test;
+    for (int f = 0; f < options.folds; ++f) {
+      if (f == fold) {
+        test.insert(test.end(), pos_folds[f].begin(), pos_folds[f].end());
+        test.insert(test.end(), neg_folds[f].begin(), neg_folds[f].end());
+      } else {
+        train_pos.insert(train_pos.end(), pos_folds[f].begin(),
+                         pos_folds[f].end());
+        train_neg.insert(train_neg.end(), neg_folds[f].begin(),
+                         neg_folds[f].end());
+      }
+    }
+    graph::GraphDatabase training = BalancedFromPools(
+        db, train_pos, train_neg, options.active_train_fraction, &rng);
+
+    FoldOutcome outcome;
+    outcome.train_size = training.size();
+    outcome.test_size = test.size();
+
+    std::unique_ptr<GraphClassifier> classifier = factory();
+    util::WallTimer train_timer;
+    classifier->Train(training);
+    outcome.train_seconds = train_timer.ElapsedSeconds();
+
+    util::WallTimer test_timer;
+    std::vector<ScoredExample> scored;
+    scored.reserve(test.size());
+    for (size_t idx : test) {
+      scored.push_back(
+          {classifier->Score(db.graph(idx)), db.graph(idx).tag() == 1});
+    }
+    outcome.test_seconds = test_timer.ElapsedSeconds();
+    outcome.auc = AreaUnderRoc(scored);
+    summary.folds.push_back(outcome);
+  }
+
+  double sum = 0.0;
+  for (const FoldOutcome& f : summary.folds) {
+    sum += f.auc;
+    summary.total_train_seconds += f.train_seconds;
+    summary.total_test_seconds += f.test_seconds;
+  }
+  summary.mean_auc = sum / summary.folds.size();
+  double var = 0.0;
+  for (const FoldOutcome& f : summary.folds) {
+    var += (f.auc - summary.mean_auc) * (f.auc - summary.mean_auc);
+  }
+  summary.std_auc = std::sqrt(var / summary.folds.size());
+  return summary;
+}
+
+}  // namespace graphsig::classify

@@ -1,0 +1,58 @@
+#ifndef GRAPHSIG_CLASSIFY_EVALUATION_H_
+#define GRAPHSIG_CLASSIFY_EVALUATION_H_
+
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "classify/classifier.h"
+#include "graph/graph_database.h"
+
+namespace graphsig::classify {
+
+// The paper's evaluation protocol (Section VI-D): stratified k-fold
+// cross validation where each fold trains on a BALANCED sample —
+// `active_train_fraction` of the fold's training actives plus an equal
+// number of training inactives — and scores the held-out fold by AUC.
+struct EvalOptions {
+  int folds = 5;
+  double active_train_fraction = 0.3;  // paper: 30% (10% for OA)
+  uint64_t seed = 1;
+};
+
+struct FoldOutcome {
+  double auc = 0.0;
+  double train_seconds = 0.0;
+  double test_seconds = 0.0;
+  size_t train_size = 0;
+  size_t test_size = 0;
+};
+
+struct EvalSummary {
+  std::vector<FoldOutcome> folds;
+  double mean_auc = 0.0;
+  double std_auc = 0.0;
+  double total_train_seconds = 0.0;
+  double total_test_seconds = 0.0;
+};
+
+// Builds a fresh classifier per fold.
+using ClassifierFactory =
+    std::function<std::unique_ptr<GraphClassifier>()>;
+
+// Runs the protocol. The database must contain both tags and enough
+// actives for the requested fold count.
+EvalSummary CrossValidate(const graph::GraphDatabase& db,
+                          const ClassifierFactory& factory,
+                          const EvalOptions& options);
+
+// Builds one balanced training set from `pool` (no CV): the sampled
+// actives plus an equal number of inactives, shuffled. Exposed for the
+// runtime bench (Fig. 17) and the examples.
+graph::GraphDatabase BalancedTrainingSample(const graph::GraphDatabase& pool,
+                                            double active_fraction,
+                                            uint64_t seed);
+
+}  // namespace graphsig::classify
+
+#endif  // GRAPHSIG_CLASSIFY_EVALUATION_H_

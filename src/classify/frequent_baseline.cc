@@ -1,0 +1,62 @@
+#include "classify/frequent_baseline.h"
+
+#include <algorithm>
+#include <set>
+
+#include "fsm/miner.h"
+#include "graph/isomorphism.h"
+#include "util/check.h"
+
+namespace graphsig::classify {
+
+void FrequentPatternClassifier::Train(const graph::GraphDatabase& training) {
+  GS_CHECK(!training.empty());
+  fsm::MinerConfig miner_config;
+  miner_config.min_support = fsm::SupportFromPercent(
+      config_.min_support_percent, training.size());
+  miner_config.max_edges = config_.max_edges;
+  miner_config.max_patterns = config_.max_patterns_mined;
+  fsm::MineResult mined = fsm::MineFrequentGSpan(training, miner_config);
+  GS_CHECK(!mined.patterns.empty());
+
+  // Most frequent first, larger patterns breaking ties (a 1-edge pattern
+  // carries almost no information); distinct occurrence signatures only.
+  std::sort(mined.patterns.begin(), mined.patterns.end(),
+            [](const fsm::Pattern& a, const fsm::Pattern& b) {
+              if (a.support != b.support) return a.support > b.support;
+              return a.graph.num_edges() > b.graph.num_edges();
+            });
+  patterns_.clear();
+  std::set<std::vector<int32_t>> signatures;
+  for (const fsm::Pattern& p : mined.patterns) {
+    if (patterns_.size() >= config_.top_k_patterns) break;
+    if (!signatures.insert(p.supporting).second) continue;
+    patterns_.push_back(p.graph);
+  }
+
+  std::vector<std::vector<double>> examples;
+  std::vector<int> labels;
+  examples.reserve(training.size());
+  for (const graph::Graph& g : training.graphs()) {
+    examples.push_back(Featurize(g));
+    labels.push_back(g.tag() == 1 ? 1 : -1);
+  }
+  svm_ = LinearSvm(config_.svm);
+  svm_.Train(examples, labels);
+}
+
+std::vector<double> FrequentPatternClassifier::Featurize(
+    const graph::Graph& g) const {
+  std::vector<double> features(patterns_.size(), 0.0);
+  for (size_t i = 0; i < patterns_.size(); ++i) {
+    features[i] = graph::IsSubgraphIsomorphic(patterns_[i], g) ? 1.0 : 0.0;
+  }
+  return features;
+}
+
+double FrequentPatternClassifier::Score(const graph::Graph& query) const {
+  GS_CHECK(!patterns_.empty());
+  return svm_.Decision(Featurize(query));
+}
+
+}  // namespace graphsig::classify

@@ -1,0 +1,47 @@
+#ifndef GRAPHSIG_CLASSIFY_FREQUENT_BASELINE_H_
+#define GRAPHSIG_CLASSIFY_FREQUENT_BASELINE_H_
+
+#include <vector>
+
+#include "classify/classifier.h"
+#include "classify/svm.h"
+#include "graph/graph.h"
+
+namespace graphsig::classify {
+
+// The straw-man Section V argues against: a classifier whose features
+// are simply the most FREQUENT subgraphs of the training set (class
+// labels play no part in feature selection). Frequent patterns like
+// benzene are ubiquitous in both classes, so this baseline should trail
+// the significant-pattern classifier — the ablation bench measures by
+// how much.
+struct FrequentPatternConfig {
+  double min_support_percent = 10.0;
+  int max_edges = 8;
+  size_t top_k_patterns = 20;  // most frequent first
+  size_t max_patterns_mined = 100000;
+  SvmConfig svm;
+};
+
+class FrequentPatternClassifier : public GraphClassifier {
+ public:
+  explicit FrequentPatternClassifier(FrequentPatternConfig config = {})
+      : config_(config) {}
+
+  void Train(const graph::GraphDatabase& training) override;
+  double Score(const graph::Graph& query) const override;
+  std::string name() const override { return "FreqSVM"; }
+
+  const std::vector<graph::Graph>& patterns() const { return patterns_; }
+
+ private:
+  std::vector<double> Featurize(const graph::Graph& g) const;
+
+  FrequentPatternConfig config_;
+  std::vector<graph::Graph> patterns_;
+  LinearSvm svm_;
+};
+
+}  // namespace graphsig::classify
+
+#endif  // GRAPHSIG_CLASSIFY_FREQUENT_BASELINE_H_

@@ -1,0 +1,83 @@
+#include "classify/hungarian.h"
+
+#include <limits>
+
+#include "util/check.h"
+
+namespace graphsig::classify {
+
+std::vector<int> MaxWeightAssignment(
+    const std::vector<std::vector<double>>& scores) {
+  const int n = static_cast<int>(scores.size());
+  GS_CHECK_GT(n, 0);
+  for (const auto& row : scores) GS_CHECK_EQ(static_cast<int>(row.size()), n);
+
+  // Classic 1-based potentials implementation of the Hungarian algorithm
+  // on costs; maximization is handled by negating the scores.
+  constexpr double kInf = std::numeric_limits<double>::infinity();
+  std::vector<double> u(n + 1, 0.0), v(n + 1, 0.0);
+  std::vector<int> p(n + 1, 0);    // p[j] = row matched to column j
+  std::vector<int> way(n + 1, 0);  // alternating-path bookkeeping
+
+  auto cost = [&](int i, int j) { return -scores[i - 1][j - 1]; };
+
+  for (int i = 1; i <= n; ++i) {
+    p[0] = i;
+    int j0 = 0;
+    std::vector<double> minv(n + 1, kInf);
+    std::vector<bool> used(n + 1, false);
+    do {
+      used[j0] = true;
+      const int i0 = p[j0];
+      double delta = kInf;
+      int j1 = -1;
+      for (int j = 1; j <= n; ++j) {
+        if (used[j]) continue;
+        const double cur = cost(i0, j) - u[i0] - v[j];
+        if (cur < minv[j]) {
+          minv[j] = cur;
+          way[j] = j0;
+        }
+        if (minv[j] < delta) {
+          delta = minv[j];
+          j1 = j;
+        }
+      }
+      GS_CHECK_GE(j1, 1);
+      for (int j = 0; j <= n; ++j) {
+        if (used[j]) {
+          u[p[j]] += delta;
+          v[j] -= delta;
+        } else {
+          minv[j] -= delta;
+        }
+      }
+      j0 = j1;
+    } while (p[j0] != 0);
+    // Augment along the alternating path.
+    do {
+      const int j1 = way[j0];
+      p[j0] = p[j1];
+      j0 = j1;
+    } while (j0 != 0);
+  }
+
+  std::vector<int> assignment(n, -1);
+  for (int j = 1; j <= n; ++j) {
+    if (p[j] >= 1) assignment[p[j] - 1] = j - 1;
+  }
+  for (int i = 0; i < n; ++i) GS_CHECK_GE(assignment[i], 0);
+  return assignment;
+}
+
+double AssignmentValue(const std::vector<std::vector<double>>& scores,
+                       const std::vector<int>& assignment) {
+  GS_CHECK_EQ(scores.size(), assignment.size());
+  double total = 0.0;
+  for (size_t i = 0; i < assignment.size(); ++i) {
+    total += scores[i][assignment[i]];
+  }
+  return total;
+}
+
+}  // namespace graphsig::classify

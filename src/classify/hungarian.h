@@ -1,0 +1,22 @@
+#ifndef GRAPHSIG_CLASSIFY_HUNGARIAN_H_
+#define GRAPHSIG_CLASSIFY_HUNGARIAN_H_
+
+#include <vector>
+
+namespace graphsig::classify {
+
+// Maximum-weight perfect assignment on an n x n score matrix
+// (scores[i][j] = value of assigning row i to column j) via the O(n^3)
+// potentials form of the Hungarian algorithm. Returns the column chosen
+// for each row. This is the inner solver of the optimal-assignment graph
+// kernel (Froehlich et al.), which the paper's OA baseline uses.
+std::vector<int> MaxWeightAssignment(
+    const std::vector<std::vector<double>>& scores);
+
+// Total score of an assignment.
+double AssignmentValue(const std::vector<std::vector<double>>& scores,
+                       const std::vector<int>& assignment);
+
+}  // namespace graphsig::classify
+
+#endif  // GRAPHSIG_CLASSIFY_HUNGARIAN_H_

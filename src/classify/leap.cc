@@ -1,0 +1,135 @@
+#include "classify/leap.h"
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+
+#include "fsm/miner.h"
+#include "graph/isomorphism.h"
+#include "util/check.h"
+
+namespace graphsig::classify {
+
+double GTestScore(double positive_rate, double negative_rate,
+                  int64_t num_pos) {
+  constexpr double kEps = 1e-6;
+  const double p = std::clamp(positive_rate, kEps, 1.0 - kEps);
+  const double q = std::clamp(negative_rate, kEps, 1.0 - kEps);
+  return 2.0 * static_cast<double>(num_pos) *
+         (p * std::log(p / q) + (1.0 - p) * std::log((1.0 - p) / (1.0 - q)));
+}
+
+namespace {
+
+struct RankedPattern {
+  const fsm::Pattern* pattern;
+  double score;
+};
+
+// Mines at one support threshold and returns patterns ranked by G-test.
+std::pair<fsm::MineResult, std::vector<RankedPattern>> MineRound(
+    const graph::GraphDatabase& training, const LeapConfig& config,
+    double support_percent, int64_t num_pos, int64_t num_neg) {
+  fsm::MinerConfig miner_config;
+  miner_config.min_support =
+      fsm::SupportFromPercent(support_percent, training.size());
+  miner_config.max_edges = config.max_edges;
+  miner_config.max_patterns = config.max_patterns_mined;
+  fsm::MineResult mined = fsm::MineFrequentGSpan(training, miner_config);
+
+  std::vector<RankedPattern> ranked;
+  ranked.reserve(mined.patterns.size());
+  for (const fsm::Pattern& p : mined.patterns) {
+    int64_t pos = 0;
+    for (int32_t gid : p.supporting) {
+      pos += training.graph(gid).tag() == 1;
+    }
+    const int64_t neg = p.support - pos;
+    ranked.push_back(
+        {&p, GTestScore(static_cast<double>(pos) / num_pos,
+                        static_cast<double>(neg) / num_neg, num_pos)});
+  }
+  std::sort(ranked.begin(), ranked.end(),
+            [](const RankedPattern& a, const RankedPattern& b) {
+              if (a.score != b.score) return a.score > b.score;
+              return a.pattern->graph.num_edges() >
+                     b.pattern->graph.num_edges();
+            });
+  return {std::move(mined), std::move(ranked)};
+}
+
+// Summed score of the top-k distinct-signature patterns; also fills
+// `keep` with those patterns if non-null.
+double TopKScore(const std::vector<RankedPattern>& ranked, size_t k,
+                 std::vector<graph::Graph>* keep) {
+  std::set<std::vector<int32_t>> signatures;
+  double total = 0.0;
+  for (const RankedPattern& r : ranked) {
+    if (signatures.size() >= k) break;
+    if (!signatures.insert(r.pattern->supporting).second) continue;
+    total += r.score;
+    if (keep != nullptr) keep->push_back(r.pattern->graph);
+  }
+  return total;
+}
+
+}  // namespace
+
+void LeapClassifier::Train(const graph::GraphDatabase& training) {
+  GS_CHECK(!training.empty());
+  int64_t num_pos = 0, num_neg = 0;
+  for (const graph::Graph& g : training.graphs()) {
+    (g.tag() == 1 ? num_pos : num_neg) += 1;
+  }
+  GS_CHECK_GT(num_pos, 0);
+  GS_CHECK_GT(num_neg, 0);
+
+  // Frequency-descending rounds: halve the support threshold until the
+  // top-k objective stops improving (or the floor is hit).
+  double best_score = -1.0;
+  patterns_.clear();
+  double theta = config_.start_support_percent;
+  while (true) {
+    auto [mined, ranked] =
+        MineRound(training, config_, theta, num_pos, num_neg);
+    std::vector<graph::Graph> round_patterns;
+    const double round_score =
+        TopKScore(ranked, config_.top_k_patterns, &round_patterns);
+    const bool improved =
+        round_score >
+        best_score * (1.0 + config_.convergence_ratio) + 1e-12;
+    if (round_score > best_score && !round_patterns.empty()) {
+      best_score = round_score;
+      patterns_ = std::move(round_patterns);
+    }
+    if (theta <= config_.min_support_percent) break;
+    if (best_score > 0.0 && !improved) break;  // converged
+    theta = std::max(theta / 2.0, config_.min_support_percent);
+  }
+  GS_CHECK(!patterns_.empty());
+
+  std::vector<std::vector<double>> examples;
+  std::vector<int> labels;
+  examples.reserve(training.size());
+  for (const graph::Graph& g : training.graphs()) {
+    examples.push_back(Featurize(g));
+    labels.push_back(g.tag() == 1 ? 1 : -1);
+  }
+  svm_ = LinearSvm(config_.svm);
+  svm_.Train(examples, labels);
+}
+
+std::vector<double> LeapClassifier::Featurize(const graph::Graph& g) const {
+  std::vector<double> features(patterns_.size(), 0.0);
+  for (size_t i = 0; i < patterns_.size(); ++i) {
+    features[i] = graph::IsSubgraphIsomorphic(patterns_[i], g) ? 1.0 : 0.0;
+  }
+  return features;
+}
+
+double LeapClassifier::Score(const graph::Graph& query) const {
+  GS_CHECK(!patterns_.empty());
+  return svm_.Decision(Featurize(query));
+}
+
+}  // namespace graphsig::classify

@@ -1,0 +1,104 @@
+#include "classify/oa_kernel.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "classify/hungarian.h"
+#include "util/check.h"
+#include "util/parallel.h"
+
+namespace graphsig::classify {
+namespace {
+
+double NodeKernel(const NodeDescriptor& a, const NodeDescriptor& b,
+                  double gamma) {
+  if (a.label != b.label) return 0.0;
+  GS_CHECK_EQ(a.distribution.size(), b.distribution.size());
+  double sq = 0.0;
+  for (size_t i = 0; i < a.distribution.size(); ++i) {
+    const double d = a.distribution[i] - b.distribution[i];
+    sq += d * d;
+  }
+  return std::exp(-gamma * sq);
+}
+
+}  // namespace
+
+double OaKernelValue(const GraphDescriptor& a, const GraphDescriptor& b,
+                     double gamma) {
+  if (a.empty() || b.empty()) return 0.0;
+  const size_t n = std::max(a.size(), b.size());
+  // Pad the score matrix with zeros (unmatched nodes contribute nothing).
+  std::vector<std::vector<double>> scores(n, std::vector<double>(n, 0.0));
+  for (size_t i = 0; i < a.size(); ++i) {
+    for (size_t j = 0; j < b.size(); ++j) {
+      scores[i][j] = NodeKernel(a[i], b[j], gamma);
+    }
+  }
+  std::vector<int> assignment = MaxWeightAssignment(scores);
+  return AssignmentValue(scores, assignment) / static_cast<double>(n);
+}
+
+GraphDescriptor OaKernelClassifier::Describe(const graph::Graph& g) const {
+  GraphDescriptor desc;
+  desc.reserve(g.num_vertices());
+  for (graph::VertexId v = 0; v < g.num_vertices(); ++v) {
+    desc.push_back(
+        {g.vertex_label(v),
+         features::RwrFeatureDistribution(g, v, space_, config_.rwr)});
+  }
+  return desc;
+}
+
+void OaKernelClassifier::Train(const graph::GraphDatabase& training) {
+  GS_CHECK(!training.empty());
+  space_ = features::FeatureSpace::ForChemicalDatabase(training,
+                                                       config_.top_k_atoms);
+  const size_t n = training.size();
+  train_descriptors_.clear();
+  train_descriptors_.reserve(n);
+  std::vector<int> labels;
+  labels.reserve(n);
+  for (const graph::Graph& g : training.graphs()) {
+    train_descriptors_.push_back(Describe(g));
+    labels.push_back(g.tag() == 1 ? 1 : -1);
+  }
+
+  train_self_kernels_.resize(n);
+  for (size_t i = 0; i < n; ++i) {
+    train_self_kernels_[i] =
+        OaKernelValue(train_descriptors_[i], train_descriptors_[i],
+                      config_.gamma);
+    GS_CHECK_GT(train_self_kernels_[i], 0.0);
+  }
+
+  std::vector<std::vector<double>> gram(n, std::vector<double>(n, 0.0));
+  util::ParallelFor(config_.num_threads, n, [&](size_t i) {
+    gram[i][i] = 1.0;
+    for (size_t j = i + 1; j < n; ++j) {
+      const double raw = OaKernelValue(train_descriptors_[i],
+                                       train_descriptors_[j], config_.gamma);
+      const double normalized =
+          raw / std::sqrt(train_self_kernels_[i] * train_self_kernels_[j]);
+      gram[i][j] = gram[j][i] = normalized;
+    }
+  });
+  svm_ = KernelSvm(config_.svm);
+  svm_.Train(gram, labels);
+}
+
+double OaKernelClassifier::Score(const graph::Graph& query) const {
+  GS_CHECK(svm_.trained());
+  const GraphDescriptor qdesc = Describe(query);
+  const double self = OaKernelValue(qdesc, qdesc, config_.gamma);
+  GS_CHECK_GT(self, 0.0);
+  std::vector<double> row(train_descriptors_.size());
+  for (size_t i = 0; i < train_descriptors_.size(); ++i) {
+    const double raw =
+        OaKernelValue(qdesc, train_descriptors_[i], config_.gamma);
+    row[i] = raw / std::sqrt(self * train_self_kernels_[i]);
+  }
+  return svm_.Decision(row);
+}
+
+}  // namespace graphsig::classify

@@ -1,0 +1,63 @@
+#ifndef GRAPHSIG_CLASSIFY_OA_KERNEL_H_
+#define GRAPHSIG_CLASSIFY_OA_KERNEL_H_
+
+#include <vector>
+
+#include "classify/classifier.h"
+#include "classify/svm.h"
+#include "features/feature_space.h"
+#include "features/rwr.h"
+
+namespace graphsig::classify {
+
+// Per-node descriptor used by the optimal-assignment kernel: the node's
+// label plus its continuous RWR feature distribution.
+struct NodeDescriptor {
+  graph::Label label;
+  std::vector<double> distribution;
+};
+
+using GraphDescriptor = std::vector<NodeDescriptor>;
+
+struct OaKernelConfig {
+  features::RwrConfig rwr;
+  int top_k_atoms = 5;
+  // RBF width of the node kernel exp(-gamma * ||da - db||^2); nodes with
+  // different labels score 0.
+  double gamma = 8.0;
+  SvmConfig svm;
+  // Worker threads for Gram-matrix rows; results are identical.
+  int num_threads = 1;
+};
+
+// Raw (unnormalized) optimal-assignment kernel value between two graph
+// descriptors: maximum-weight node assignment (Hungarian) over the node
+// kernel, divided by max(|a|, |b|). Symmetric and in [0, 1].
+double OaKernelValue(const GraphDescriptor& a, const GraphDescriptor& b,
+                     double gamma);
+
+// The paper's kernel baseline (Froehlich et al.'s optimal assignment
+// kernel + SVM). Each training pair costs an O(n^3) assignment, which is
+// what makes OA unscalable in Fig. 17.
+class OaKernelClassifier : public GraphClassifier {
+ public:
+  explicit OaKernelClassifier(OaKernelConfig config = {})
+      : config_(config), svm_(config.svm) {}
+
+  void Train(const graph::GraphDatabase& training) override;
+  double Score(const graph::Graph& query) const override;
+  std::string name() const override { return "OA"; }
+
+ private:
+  GraphDescriptor Describe(const graph::Graph& g) const;
+
+  OaKernelConfig config_;
+  features::FeatureSpace space_;
+  std::vector<GraphDescriptor> train_descriptors_;
+  std::vector<double> train_self_kernels_;  // for cosine normalization
+  KernelSvm svm_;
+};
+
+}  // namespace graphsig::classify
+
+#endif  // GRAPHSIG_CLASSIFY_OA_KERNEL_H_

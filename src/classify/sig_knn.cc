@@ -1,0 +1,125 @@
+#include "classify/sig_knn.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <queue>
+
+#include "features/rwr.h"
+#include "util/check.h"
+
+namespace graphsig::classify {
+
+double MinDistToSubVector(const features::FeatureVec& x,
+                          const std::vector<features::FeatureVec>& set) {
+  double best = std::numeric_limits<double>::infinity();
+  for (const features::FeatureVec& v : set) {
+    GS_CHECK_EQ(v.size(), x.size());
+    double dist = 0.0;
+    bool sub = true;
+    for (size_t i = 0; i < v.size(); ++i) {
+      if (v[i] > x[i]) {
+        sub = false;
+        break;
+      }
+      dist += static_cast<double>(x[i] - v[i]);
+    }
+    if (sub && dist < best) best = dist;
+  }
+  return best;
+}
+
+void GraphSigClassifier::Train(const graph::GraphDatabase& training) {
+  graph::GraphDatabase positives = training.FilterByTag(1);
+  graph::GraphDatabase negatives = training.FilterByTag(0);
+  GS_CHECK(!positives.empty());
+  GS_CHECK(!negatives.empty());
+
+  // One shared feature space so class vectors and queries line up.
+  space_ = features::FeatureSpace::ForChemicalDatabase(
+      training, config_.mining.top_k_atoms);
+
+  core::GraphSig miner(config_.mining);
+  positive_.clear();
+  negative_.clear();
+  for (const auto& [label, sv] :
+       miner.MineSignificantVectors(positives, nullptr, &space_)) {
+    positive_.push_back(sv.vector);
+  }
+  for (const auto& [label, sv] :
+       miner.MineSignificantVectors(negatives, nullptr, &space_)) {
+    negative_.push_back(sv.vector);
+  }
+  positive_index_ = BuildIndex(positive_);
+  negative_index_ = BuildIndex(negative_);
+}
+
+GraphSigClassifier::VectorIndex GraphSigClassifier::BuildIndex(
+    std::vector<features::FeatureVec> vectors) {
+  std::sort(vectors.begin(), vectors.end());
+  vectors.erase(std::unique(vectors.begin(), vectors.end()), vectors.end());
+  std::stable_sort(vectors.begin(), vectors.end(),
+                   [](const features::FeatureVec& a,
+                      const features::FeatureVec& b) {
+                     int32_t sa = 0, sb = 0;
+                     for (int16_t v : a) sa += v;
+                     for (int16_t v : b) sb += v;
+                     return sa > sb;
+                   });
+  VectorIndex index;
+  index.sums.reserve(vectors.size());
+  for (const features::FeatureVec& v : vectors) {
+    int32_t sum = 0;
+    for (int16_t x : v) sum += x;
+    index.sums.push_back(sum);
+  }
+  index.vectors = std::move(vectors);
+  return index;
+}
+
+double GraphSigClassifier::MinDistIndexed(const features::FeatureVec& x,
+                                          const VectorIndex& index) {
+  int32_t x_sum = 0;
+  for (int16_t v : x) x_sum += v;
+  for (size_t i = 0; i < index.vectors.size(); ++i) {
+    if (index.sums[i] > x_sum) continue;  // cannot be a sub-vector
+    const features::FeatureVec& v = index.vectors[i];
+    bool sub = true;
+    for (size_t s = 0; s < v.size(); ++s) {
+      if (v[s] > x[s]) {
+        sub = false;
+        break;
+      }
+    }
+    if (sub) return static_cast<double>(x_sum - index.sums[i]);
+  }
+  return std::numeric_limits<double>::infinity();
+}
+
+double GraphSigClassifier::Score(const graph::Graph& query) const {
+  GS_CHECK_GT(space_.size(), 0u);  // must be trained
+  auto node_vectors = features::GraphToVectors(query, /*graph_index=*/-1,
+                                               space_, config_.mining.rwr);
+  // Keep the k globally smallest (distance, class) pairs (Algorithm 3's
+  // priority queue): a max-heap holding at most k entries.
+  using Entry = std::pair<double, int>;  // distance, +1 / -1
+  std::priority_queue<Entry> heap;
+  for (const features::NodeVector& nv : node_vectors) {
+    const double pos_dist = MinDistIndexed(nv.values, positive_index_);
+    const double neg_dist = MinDistIndexed(nv.values, negative_index_);
+    if (std::isinf(pos_dist) && std::isinf(neg_dist)) continue;
+    Entry entry = neg_dist < pos_dist ? Entry{neg_dist, -1}
+                                      : Entry{pos_dist, +1};
+    heap.push(entry);
+    if (heap.size() > static_cast<size_t>(config_.k)) heap.pop();
+  }
+  double score = 0.0;
+  while (!heap.empty()) {
+    const auto& [dist, cls] = heap.top();
+    score += static_cast<double>(cls) / (dist + config_.delta);
+    heap.pop();
+  }
+  return score;
+}
+
+}  // namespace graphsig::classify

@@ -1,0 +1,69 @@
+#ifndef GRAPHSIG_CLASSIFY_SIG_KNN_H_
+#define GRAPHSIG_CLASSIFY_SIG_KNN_H_
+
+#include <vector>
+
+#include "classify/classifier.h"
+#include "core/graphsig.h"
+#include "features/feature_space.h"
+#include "features/feature_vector.h"
+
+namespace graphsig::classify {
+
+// Algorithm 4: distance from vector x to the closest sub-feature vector
+// in `set`. A member v contributes sum_i (x_i - v_i) if v ⊆ x, else
+// infinity. Returns infinity when no member is a sub-vector of x.
+double MinDistToSubVector(const features::FeatureVec& x,
+                          const std::vector<features::FeatureVec>& set);
+
+struct SigKnnConfig {
+  // Feature-phase thresholds used to mine the significant vectors from
+  // each training class.
+  core::GraphSigConfig mining;
+  int k = 9;            // paper's value in Section VI-D
+  double delta = 1e-3;  // the small additive before inverting distances
+};
+
+// The classifier of Section V (Algorithm 3): mine significant
+// sub-feature vectors from the positive and the negative training
+// graphs, then classify a query by a distance-weighted vote of the k
+// globally closest significant vectors over the query's node vectors.
+class GraphSigClassifier : public GraphClassifier {
+ public:
+  explicit GraphSigClassifier(SigKnnConfig config = {}) : config_(config) {}
+
+  void Train(const graph::GraphDatabase& training) override;
+  double Score(const graph::Graph& query) const override;
+  std::string name() const override { return "GraphSig"; }
+
+  const std::vector<features::FeatureVec>& positive_vectors() const {
+    return positive_;
+  }
+  const std::vector<features::FeatureVec>& negative_vectors() const {
+    return negative_;
+  }
+
+ private:
+  // Distinct vectors sorted by slot-sum descending plus their sums. For
+  // any sub-vector v of x, dist(x, v) = sum(x) - sum(v), so the first
+  // sub-vector found in descending-sum order is the closest — the scan
+  // exits early instead of touching every training vector.
+  struct VectorIndex {
+    std::vector<features::FeatureVec> vectors;  // sum-descending
+    std::vector<int32_t> sums;
+  };
+  static VectorIndex BuildIndex(std::vector<features::FeatureVec> vectors);
+  static double MinDistIndexed(const features::FeatureVec& x,
+                               const VectorIndex& index);
+
+  SigKnnConfig config_;
+  features::FeatureSpace space_;
+  std::vector<features::FeatureVec> positive_;
+  std::vector<features::FeatureVec> negative_;
+  VectorIndex positive_index_;
+  VectorIndex negative_index_;
+};
+
+}  // namespace graphsig::classify
+
+#endif  // GRAPHSIG_CLASSIFY_SIG_KNN_H_

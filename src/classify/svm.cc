@@ -1,0 +1,134 @@
+#include "classify/svm.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/check.h"
+#include "util/rng.h"
+
+namespace graphsig::classify {
+
+void KernelSvm::Train(const std::vector<std::vector<double>>& gram,
+                      const std::vector<int>& labels) {
+  const size_t n = gram.size();
+  GS_CHECK_GT(n, 0u);
+  GS_CHECK_EQ(labels.size(), n);
+  for (const auto& row : gram) GS_CHECK_EQ(row.size(), n);
+  for (int y : labels) GS_CHECK(y == 1 || y == -1);
+
+  labels_ = labels;
+  alphas_.assign(n, 0.0);
+  bias_ = 0.0;
+  util::Rng rng(config_.seed);
+
+  auto decision_on_train = [&](size_t k) {
+    double sum = bias_;
+    for (size_t i = 0; i < n; ++i) {
+      if (alphas_[i] != 0.0) sum += alphas_[i] * labels_[i] * gram[i][k];
+    }
+    return sum;
+  };
+
+  int passes = 0;
+  int iterations = 0;
+  while (passes < config_.max_passes &&
+         iterations < config_.max_iterations) {
+    ++iterations;
+    int changed = 0;
+    for (size_t i = 0; i < n; ++i) {
+      const double e_i = decision_on_train(i) - labels_[i];
+      const bool violates =
+          (labels_[i] * e_i < -config_.tolerance &&
+           alphas_[i] < config_.c) ||
+          (labels_[i] * e_i > config_.tolerance && alphas_[i] > 0.0);
+      if (!violates) continue;
+      size_t j = rng.NextBounded(n - 1);
+      if (j >= i) ++j;
+      const double e_j = decision_on_train(j) - labels_[j];
+
+      const double alpha_i_old = alphas_[i];
+      const double alpha_j_old = alphas_[j];
+      double low, high;
+      if (labels_[i] != labels_[j]) {
+        low = std::max(0.0, alpha_j_old - alpha_i_old);
+        high = std::min(config_.c, config_.c + alpha_j_old - alpha_i_old);
+      } else {
+        low = std::max(0.0, alpha_i_old + alpha_j_old - config_.c);
+        high = std::min(config_.c, alpha_i_old + alpha_j_old);
+      }
+      if (low >= high) continue;
+      const double eta = 2.0 * gram[i][j] - gram[i][i] - gram[j][j];
+      if (eta >= 0.0) continue;
+      double alpha_j = alpha_j_old - labels_[j] * (e_i - e_j) / eta;
+      alpha_j = std::clamp(alpha_j, low, high);
+      if (std::fabs(alpha_j - alpha_j_old) < 1e-7) continue;
+      const double alpha_i =
+          alpha_i_old + labels_[i] * labels_[j] * (alpha_j_old - alpha_j);
+      alphas_[i] = alpha_i;
+      alphas_[j] = alpha_j;
+
+      const double b1 = bias_ - e_i -
+                        labels_[i] * (alpha_i - alpha_i_old) * gram[i][i] -
+                        labels_[j] * (alpha_j - alpha_j_old) * gram[i][j];
+      const double b2 = bias_ - e_j -
+                        labels_[i] * (alpha_i - alpha_i_old) * gram[i][j] -
+                        labels_[j] * (alpha_j - alpha_j_old) * gram[j][j];
+      if (alpha_i > 0.0 && alpha_i < config_.c) {
+        bias_ = b1;
+      } else if (alpha_j > 0.0 && alpha_j < config_.c) {
+        bias_ = b2;
+      } else {
+        bias_ = 0.5 * (b1 + b2);
+      }
+      ++changed;
+    }
+    passes = (changed == 0) ? passes + 1 : 0;
+  }
+}
+
+double KernelSvm::Decision(const std::vector<double>& kernel_row) const {
+  GS_CHECK_EQ(kernel_row.size(), alphas_.size());
+  double sum = bias_;
+  for (size_t i = 0; i < alphas_.size(); ++i) {
+    if (alphas_[i] != 0.0) {
+      sum += alphas_[i] * labels_[i] * kernel_row[i];
+    }
+  }
+  return sum;
+}
+
+void LinearSvm::Train(const std::vector<std::vector<double>>& examples,
+                      const std::vector<int>& labels) {
+  const size_t n = examples.size();
+  GS_CHECK_GT(n, 0u);
+  const size_t dim = examples[0].size();
+  std::vector<std::vector<double>> gram(n, std::vector<double>(n, 0.0));
+  for (size_t i = 0; i < n; ++i) {
+    GS_CHECK_EQ(examples[i].size(), dim);
+    for (size_t j = i; j < n; ++j) {
+      double dot = 0.0;
+      for (size_t d = 0; d < dim; ++d) dot += examples[i][d] * examples[j][d];
+      gram[i][j] = gram[j][i] = dot;
+    }
+  }
+  KernelSvm svm(config_);
+  svm.Train(gram, labels);
+  weights_.assign(dim, 0.0);
+  for (size_t i = 0; i < n; ++i) {
+    const double coeff = svm.alphas()[i] * labels[i];
+    if (coeff == 0.0) continue;
+    for (size_t d = 0; d < dim; ++d) weights_[d] += coeff * examples[i][d];
+  }
+  bias_ = svm.bias();
+}
+
+double LinearSvm::Decision(const std::vector<double>& example) const {
+  GS_CHECK_EQ(example.size(), weights_.size());
+  double sum = bias_;
+  for (size_t d = 0; d < weights_.size(); ++d) {
+    sum += weights_[d] * example[d];
+  }
+  return sum;
+}
+
+}  // namespace graphsig::classify

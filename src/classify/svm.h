@@ -1,0 +1,68 @@
+#ifndef GRAPHSIG_CLASSIFY_SVM_H_
+#define GRAPHSIG_CLASSIFY_SVM_H_
+
+#include <cstdint>
+#include <vector>
+
+namespace graphsig::classify {
+
+// Soft-margin C-SVM trained with simplified SMO (Platt). Stands in for
+// LIBSVM in the baseline classifiers (OA kernel and LEAP both use an SVM
+// in the paper's comparison).
+struct SvmConfig {
+  double c = 1.0;
+  double tolerance = 1e-3;
+  int max_passes = 10;         // consecutive no-change passes before stop
+  int max_iterations = 20000;  // hard cap on optimization sweeps
+  uint64_t seed = 42;          // SMO's random partner selection
+};
+
+// SVM over a precomputed kernel. The caller supplies the Gram matrix at
+// training time and kernel rows (query vs every training example) at
+// prediction time.
+class KernelSvm {
+ public:
+  explicit KernelSvm(SvmConfig config = {}) : config_(config) {}
+
+  // `gram[i][j]` = K(x_i, x_j) (symmetric PSD); labels are +1 / -1.
+  void Train(const std::vector<std::vector<double>>& gram,
+             const std::vector<int>& labels);
+
+  // Decision value sum_i alpha_i y_i K(x_i, q) + b for a query with the
+  // given kernel row. Positive -> class +1.
+  double Decision(const std::vector<double>& kernel_row) const;
+
+  const std::vector<double>& alphas() const { return alphas_; }
+  double bias() const { return bias_; }
+  bool trained() const { return !alphas_.empty(); }
+
+ private:
+  SvmConfig config_;
+  std::vector<double> alphas_;
+  std::vector<int> labels_;
+  double bias_ = 0.0;
+};
+
+// Linear SVM over explicit feature vectors; keeps the primal weight
+// vector for O(dim) scoring. Used by the LEAP-style pattern classifier.
+class LinearSvm {
+ public:
+  explicit LinearSvm(SvmConfig config = {}) : config_(config) {}
+
+  void Train(const std::vector<std::vector<double>>& examples,
+             const std::vector<int>& labels);
+
+  double Decision(const std::vector<double>& example) const;
+
+  const std::vector<double>& weights() const { return weights_; }
+  double bias() const { return bias_; }
+
+ private:
+  SvmConfig config_;
+  std::vector<double> weights_;
+  double bias_ = 0.0;
+};
+
+}  // namespace graphsig::classify
+
+#endif  // GRAPHSIG_CLASSIFY_SVM_H_

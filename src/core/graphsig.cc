@@ -1,0 +1,218 @@
+#include "core/graphsig.h"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <string>
+
+#include "fsm/dfs_code.h"
+#include "fsm/maximal.h"
+#include "fsm/miner.h"
+#include "graph/isomorphism.h"
+#include "stats/pvalue_model.h"
+#include "util/check.h"
+#include "util/parallel.h"
+#include "util/timer.h"
+
+namespace graphsig::core {
+namespace {
+
+using features::FeatureVec;
+using features::NodeVector;
+using graph::GraphDatabase;
+using graph::Label;
+
+struct FeaturePhaseOutput {
+  features::FeatureSpace feature_space;
+  std::vector<NodeVector> node_vectors;
+  // Significant closed sub-feature vectors per anchor label; supporting
+  // lists are re-based to indices into `node_vectors`.
+  std::vector<std::pair<Label, fvmine::SignificantVector>> significant;
+  double rwr_seconds = 0.0;
+  double feature_seconds = 0.0;
+  GraphSigStats stats;
+};
+
+FeaturePhaseOutput RunFeaturePhase(const GraphSigConfig& config,
+                                   const GraphDatabase& db,
+                                   const features::FeatureSpace* space) {
+  FeaturePhaseOutput out;
+  util::WallTimer timer;
+
+  // Feature selection + RWR featurization (Algorithm 2, lines 3-4).
+  out.feature_space =
+      space != nullptr
+          ? *space
+          : features::FeatureSpace::ForChemicalDatabase(db,
+                                                        config.top_k_atoms);
+  out.node_vectors = features::DatabaseToVectors(
+      db, out.feature_space, config.rwr, config.num_threads);
+  out.rwr_seconds = timer.ElapsedSeconds();
+  out.stats.num_vectors = static_cast<int64_t>(out.node_vectors.size());
+  if (out.node_vectors.empty()) return out;
+
+  timer.Restart();
+  // Group by anchor label (line 6) and run FVMine per group (line 7).
+  std::map<Label, std::vector<int32_t>> groups;
+  for (size_t i = 0; i < out.node_vectors.size(); ++i) {
+    groups[out.node_vectors[i].node_label].push_back(
+        static_cast<int32_t>(i));
+  }
+  out.stats.num_groups = static_cast<int64_t>(groups.size());
+
+  for (const auto& [label, member_indices] : groups) {
+    // Group-relative frequency threshold (see GraphSigConfig).
+    const int64_t min_support = std::max<int64_t>(
+        config.min_support_floor,
+        static_cast<int64_t>(std::ceil(config.min_freq_percent / 100.0 *
+                                       member_indices.size())));
+    if (static_cast<int64_t>(member_indices.size()) < min_support) continue;
+    std::vector<const FeatureVec*> population;
+    population.reserve(member_indices.size());
+    for (int32_t idx : member_indices) {
+      population.push_back(&out.node_vectors[idx].values);
+    }
+    stats::FeaturePriors priors(population, config.rwr.bins);
+    fvmine::FvMineConfig fv_config;
+    fv_config.min_support = min_support;
+    fv_config.max_pvalue = config.max_pvalue;
+    fv_config.max_results = config.fvmine_max_results;
+    fv_config.budget_seconds = config.fvmine_budget_seconds;
+    fv_config.use_ceiling_prune = config.use_ceiling_prune;
+    fvmine::FvMineResult mined = fvmine::FvMine(population, priors, fv_config);
+    for (fvmine::SignificantVector& sv : mined.vectors) {
+      for (int32_t& idx : sv.supporting) idx = member_indices[idx];
+      out.significant.emplace_back(label, std::move(sv));
+    }
+  }
+  out.stats.num_significant_vectors =
+      static_cast<int64_t>(out.significant.size());
+  out.feature_seconds = timer.ElapsedSeconds();
+  return out;
+}
+
+}  // namespace
+
+std::vector<std::pair<Label, fvmine::SignificantVector>>
+GraphSig::MineSignificantVectors(const GraphDatabase& db,
+                                 GraphSigProfile* profile,
+                                 const features::FeatureSpace* space) const {
+  FeaturePhaseOutput phase = RunFeaturePhase(config_, db, space);
+  if (profile != nullptr) {
+    profile->rwr_seconds = phase.rwr_seconds;
+    profile->feature_seconds = phase.feature_seconds;
+    profile->fsm_seconds = 0.0;
+    profile->total_seconds = phase.rwr_seconds + phase.feature_seconds;
+  }
+  return std::move(phase.significant);
+}
+
+GraphSigResult GraphSig::Mine(const GraphDatabase& db) const {
+  GraphSigResult result;
+  util::WallTimer total_timer;
+
+  FeaturePhaseOutput phase = RunFeaturePhase(config_, db, nullptr);
+  result.feature_space = phase.feature_space;
+  result.stats = phase.stats;
+  result.profile.rwr_seconds = phase.rwr_seconds;
+  result.profile.feature_seconds = phase.feature_seconds;
+
+  util::WallTimer fsm_timer;
+  // Graph-space phase (Algorithm 2, lines 8-13): each significant vector
+  // selects the regions it describes; cut them out and mine maximally at
+  // a high relative threshold.
+  std::map<std::string, SignificantSubgraph> dedup;  // canonical -> best
+
+  for (const auto& [label, sv] : phase.significant) {
+    if (sv.supporting.size() < config_.min_set_size) continue;
+
+    // Evenly subsample oversized sets (see max_regions_per_set).
+    std::vector<int32_t> chosen;
+    if (sv.supporting.size() > config_.max_regions_per_set) {
+      chosen.reserve(config_.max_regions_per_set);
+      const double stride = static_cast<double>(sv.supporting.size()) /
+                            static_cast<double>(config_.max_regions_per_set);
+      for (size_t k = 0; k < config_.max_regions_per_set; ++k) {
+        chosen.push_back(sv.supporting[static_cast<size_t>(k * stride)]);
+      }
+    } else {
+      chosen = sv.supporting;
+    }
+
+    GraphDatabase regions;
+    regions.Reserve(chosen.size());
+    for (int32_t vector_index : chosen) {
+      const NodeVector& nv = phase.node_vectors[vector_index];
+      const graph::Graph& host = db.graph(nv.graph_index);
+      graph::Graph cut = host.InducedSubgraph(
+          host.VerticesWithinRadius(nv.node, config_.cutoff_radius));
+      cut.set_id(nv.graph_index);
+      regions.Add(std::move(cut));
+    }
+
+    fsm::MinerConfig miner_config;
+    miner_config.min_support = std::max<int64_t>(
+        2, fsm::SupportFromPercent(config_.fsg_freq_percent,
+                                   regions.size()));
+    miner_config.max_edges = config_.fsm_max_edges;
+    miner_config.max_patterns = config_.fsm_max_patterns;
+    fsm::MineResult mined = fsm::MineMaximalGSpan(regions, miner_config);
+    ++result.stats.num_sets_mined;
+    if (mined.patterns.empty()) {
+      // False positive: similar vectors, no common structure (the line-13
+      // pruning the paper describes).
+      ++result.stats.num_sets_filtered;
+      continue;
+    }
+
+    for (const fsm::Pattern& pattern : mined.patterns) {
+      if (pattern.graph.num_edges() < 1) continue;
+      SignificantSubgraph candidate;
+      candidate.subgraph = pattern.graph;
+      candidate.vector = sv.vector;
+      candidate.vector_pvalue = sv.p_value;
+      candidate.vector_support = sv.support;
+      candidate.anchor_label = label;
+      candidate.set_size = static_cast<int64_t>(regions.size());
+      candidate.set_support = pattern.support;
+      const std::string key = fsm::CanonicalCode(pattern.graph);
+      auto it = dedup.find(key);
+      if (it == dedup.end()) {
+        dedup.emplace(key, std::move(candidate));
+      } else if (candidate.vector_pvalue < it->second.vector_pvalue ||
+                 (candidate.vector_pvalue == it->second.vector_pvalue &&
+                  candidate.set_support > it->second.set_support)) {
+        it->second = std::move(candidate);
+      }
+    }
+  }
+
+  result.subgraphs.reserve(dedup.size());
+  for (auto& [key, subgraph] : dedup) {
+    result.subgraphs.push_back(std::move(subgraph));
+  }
+  if (config_.compute_db_frequency) {
+    util::ParallelFor(
+        config_.num_threads, result.subgraphs.size(), [&](size_t i) {
+          SignificantSubgraph& sg = result.subgraphs[i];
+          int64_t frequency = 0;
+          for (const graph::Graph& g : db.graphs()) {
+            if (graph::IsSubgraphIsomorphic(sg.subgraph, g)) ++frequency;
+          }
+          sg.db_frequency = frequency;
+        });
+  }
+  std::sort(result.subgraphs.begin(), result.subgraphs.end(),
+            [](const SignificantSubgraph& a, const SignificantSubgraph& b) {
+              if (a.vector_pvalue != b.vector_pvalue) {
+                return a.vector_pvalue < b.vector_pvalue;
+              }
+              return a.subgraph.num_edges() > b.subgraph.num_edges();
+            });
+
+  result.profile.fsm_seconds = fsm_timer.ElapsedSeconds();
+  result.profile.total_seconds = total_timer.ElapsedSeconds();
+  return result;
+}
+
+}  // namespace graphsig::core

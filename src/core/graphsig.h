@@ -1,0 +1,136 @@
+#ifndef GRAPHSIG_CORE_GRAPHSIG_H_
+#define GRAPHSIG_CORE_GRAPHSIG_H_
+
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+#include "features/feature_space.h"
+#include "features/rwr.h"
+#include "fvmine/fvmine.h"
+#include "graph/graph_database.h"
+
+namespace graphsig::core {
+
+// Configuration of the end-to-end GraphSig pipeline (Algorithm 2).
+// Defaults follow the paper's Table IV.
+struct GraphSigConfig {
+  features::RwrConfig rwr;  // alpha = 0.25, 10 bins
+
+  // Feature selection: top-k atoms whose pairwise edge types become
+  // features (Section II-B).
+  int top_k_atoms = 5;
+
+  // FVMine thresholds (Table IV): maxPvalue = 0.1; minFreq = 0.1%.
+  // The frequency threshold is relative to the anchor-label group D_a
+  // each FVMine call runs on — this is what lets GraphSig surface
+  // patterns around rare atoms (Sb/Bi, Fig. 15) whose global frequency
+  // is far below any workable database-wide threshold.
+  double max_pvalue = 0.1;
+  double min_freq_percent = 0.1;
+  // Absolute floor under the relative threshold (tiny groups would
+  // otherwise mine "patterns" supported by a single region).
+  int64_t min_support_floor = 3;
+
+  // Region extraction: CutGraph radius (Table IV: 8) and the relative
+  // frequency threshold for maximal FSM on each region set (Table IV:
+  // fsgFreq = 80%).
+  int cutoff_radius = 8;
+  double fsg_freq_percent = 80.0;
+
+  // Engineering guards. A region set needs at least `min_set_size`
+  // regions to be mined (a high relative threshold over one graph would
+  // degenerate to support 1 and enumerate everything); `fsm_max_edges`
+  // bounds pattern size inside region mining.
+  size_t min_set_size = 3;
+  int32_t fsm_max_edges = 25;
+  size_t fsm_max_patterns = 100000;
+  // Large region sets are evenly subsampled to this many regions before
+  // maximal FSM; the 80% relative threshold is computed on the sample.
+  // A pattern present in >= 80% of the set is present in ~80% of any
+  // even sample, so this bounds per-set mining cost without changing
+  // which cores surface.
+  size_t max_regions_per_set = 128;
+
+  // Caps forwarded to FVMine.
+  size_t fvmine_max_results = std::numeric_limits<size_t>::max();
+  double fvmine_budget_seconds = std::numeric_limits<double>::infinity();
+  bool use_ceiling_prune = true;
+
+  // Worker threads for the RWR featurization phase (1 = serial; output
+  // is identical either way).
+  int num_threads = 1;
+
+  // Compute each output pattern's frequency over the full database
+  // (needed by the Fig. 16 analysis; one subgraph-iso scan per pattern).
+  bool compute_db_frequency = true;
+};
+
+// One mined significant subgraph with the evidence trail back through
+// the pipeline.
+struct SignificantSubgraph {
+  graph::Graph subgraph;
+  // Feature-space evidence: the closed significant sub-feature vector
+  // that selected this region set.
+  features::FeatureVec vector;
+  double vector_pvalue = 1.0;
+  int64_t vector_support = 0;
+  graph::Label anchor_label = -1;  // the D_a group it came from
+  // Graph-space evidence.
+  int64_t set_size = 0;     // regions mined
+  int64_t set_support = 0;  // regions containing the pattern
+  int64_t db_frequency = -1;  // graphs of the full DB containing it
+};
+
+// Wall-time share of each pipeline stage (the Fig. 10 profile).
+struct GraphSigProfile {
+  double rwr_seconds = 0.0;       // featurization (RWR + discretize)
+  double feature_seconds = 0.0;   // priors + FVMine + region location
+  double fsm_seconds = 0.0;       // cutting + maximal frequent mining
+  double total_seconds = 0.0;
+};
+
+struct GraphSigStats {
+  int64_t num_vectors = 0;             // |D|
+  int64_t num_groups = 0;              // distinct anchor labels
+  int64_t num_significant_vectors = 0;  // FVMine outputs across groups
+  int64_t num_sets_mined = 0;          // region sets that reached FSM
+  int64_t num_sets_filtered = 0;       // false-positive sets (no pattern)
+};
+
+struct GraphSigResult {
+  std::vector<SignificantSubgraph> subgraphs;
+  GraphSigProfile profile;
+  GraphSigStats stats;
+  features::FeatureSpace feature_space;
+};
+
+// The GraphSig miner. Stateless between calls; one instance can mine
+// many databases.
+class GraphSig {
+ public:
+  explicit GraphSig(GraphSigConfig config) : config_(config) {}
+
+  // Runs Algorithm 2 over `db` and returns the significant subgraphs,
+  // deduplicated by canonical form (keeping the lowest vector p-value).
+  GraphSigResult Mine(const graph::GraphDatabase& db) const;
+
+  // Runs only the feature-space half (RWR + grouping + FVMine): the
+  // significant sub-feature vectors per anchor label. This is what the
+  // classifier trains on (Section V). If `space` is non-null it is used
+  // instead of deriving one from `db` — the classifier passes a shared
+  // space so positive/negative vectors and queries are comparable.
+  std::vector<std::pair<graph::Label, fvmine::SignificantVector>>
+  MineSignificantVectors(const graph::GraphDatabase& db,
+                         GraphSigProfile* profile = nullptr,
+                         const features::FeatureSpace* space = nullptr) const;
+
+  const GraphSigConfig& config() const { return config_; }
+
+ private:
+  GraphSigConfig config_;
+};
+
+}  // namespace graphsig::core
+
+#endif  // GRAPHSIG_CORE_GRAPHSIG_H_

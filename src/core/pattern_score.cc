@@ -1,0 +1,79 @@
+#include "core/pattern_score.h"
+
+#include <map>
+
+#include "features/rwr.h"
+#include "graph/isomorphism.h"
+#include "stats/pvalue_model.h"
+#include "util/check.h"
+
+namespace graphsig::core {
+
+PatternScore ScorePattern(const graph::GraphDatabase& db,
+                          const graph::Graph& pattern,
+                          const GraphSigConfig& config) {
+  GS_CHECK_GT(pattern.num_vertices(), 0);
+  PatternScore score;
+  if (db.empty()) return score;
+
+  // Anchor: the pattern vertex whose label is rarest in the database.
+  auto label_counts = db.VertexLabelCounts();
+  graph::VertexId anchor = 0;
+  int64_t rarest = INT64_MAX;
+  for (graph::VertexId v = 0; v < pattern.num_vertices(); ++v) {
+    auto it = label_counts.find(pattern.vertex_label(v));
+    const int64_t count = it == label_counts.end() ? 0 : it->second;
+    if (count < rarest) {
+      rarest = count;
+      anchor = v;
+    }
+  }
+  const graph::Label anchor_label = pattern.vertex_label(anchor);
+
+  // Locate occurrences; collect the anchor's image in one embedding per
+  // graph (the region the pattern describes there).
+  std::vector<std::pair<int32_t, graph::VertexId>> anchors;
+  for (size_t gid = 0; gid < db.size(); ++gid) {
+    auto embedding = graph::FindEmbedding(pattern, db.graph(gid));
+    if (!embedding.has_value()) continue;
+    ++score.frequency;
+    anchors.push_back({static_cast<int32_t>(gid), (*embedding)[anchor]});
+  }
+  if (anchors.empty()) return score;
+  score.found = true;
+
+  // Featurize the whole anchor-label group (the priors' population).
+  features::FeatureSpace space = features::FeatureSpace::ForChemicalDatabase(
+      db, config.top_k_atoms);
+  auto vectors =
+      features::DatabaseToVectors(db, space, config.rwr, config.num_threads);
+  std::vector<const features::FeatureVec*> group;
+  std::map<std::pair<int32_t, graph::VertexId>, const features::FeatureVec*>
+      by_node;
+  for (const features::NodeVector& nv : vectors) {
+    if (nv.node_label != anchor_label) continue;
+    group.push_back(&nv.values);
+    by_node[{nv.graph_index, nv.node}] = &nv.values;
+  }
+  GS_CHECK(!group.empty());
+
+  // Floor of the occurrence vectors = the pattern's feature-space
+  // description; its support is the number of dominating group vectors.
+  std::vector<const features::FeatureVec*> occurrence_vectors;
+  for (const auto& key : anchors) {
+    auto it = by_node.find(key);
+    GS_CHECK(it != by_node.end());
+    occurrence_vectors.push_back(it->second);
+  }
+  features::FeatureVec floor = features::Floor(occurrence_vectors);
+  int64_t support = 0;
+  for (const features::FeatureVec* v : group) {
+    if (features::IsSubVector(floor, *v)) ++support;
+  }
+  stats::FeaturePriors priors(group, config.rwr.bins);
+  score.vector_support = support;
+  score.p_value = priors.PValue(floor, support);
+  return score;
+}
+
+}  // namespace graphsig::core

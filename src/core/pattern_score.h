@@ -1,0 +1,32 @@
+#ifndef GRAPHSIG_CORE_PATTERN_SCORE_H_
+#define GRAPHSIG_CORE_PATTERN_SCORE_H_
+
+#include <cstdint>
+
+#include "core/graphsig.h"
+#include "graph/graph_database.h"
+
+namespace graphsig::core {
+
+// Feature-space significance of one GIVEN subgraph (the query direction
+// of GraphRank / the paper's Fig. 16 benzene check): locate the
+// pattern's occurrences in the database, take the RWR vectors of the
+// nodes matching the pattern's anchor vertex, and score the floor of
+// those vectors against the anchor group's priors.
+struct PatternScore {
+  int64_t frequency = 0;       // graphs containing the pattern
+  int64_t vector_support = 0;  // anchor nodes whose vector dominates floor
+  double p_value = 1.0;        // significance of the floor vector
+  bool found = false;          // false if the pattern never occurs
+};
+
+// `config` supplies the featurization (rwr, top_k_atoms). The anchor is
+// the pattern vertex with the rarest label in `db` (the most informative
+// group). Cost: one subgraph-iso scan plus the featurization of `db`.
+PatternScore ScorePattern(const graph::GraphDatabase& db,
+                          const graph::Graph& pattern,
+                          const GraphSigConfig& config);
+
+}  // namespace graphsig::core
+
+#endif  // GRAPHSIG_CORE_PATTERN_SCORE_H_

@@ -1,0 +1,25 @@
+#ifndef GRAPHSIG_CORE_REPORT_H_
+#define GRAPHSIG_CORE_REPORT_H_
+
+#include <ostream>
+
+#include "core/graphsig.h"
+
+namespace graphsig::core {
+
+// Serializers for mining results, so downstream pipelines can consume
+// GraphSig output without linking the library.
+
+// Human-readable report: stats, profile, then one block per subgraph
+// (p-value, supports, SMILES, edge list with atom/bond symbols).
+void WriteReport(const GraphSigResult& result, size_t db_size,
+                 std::ostream& os, size_t max_patterns = SIZE_MAX);
+
+// Machine-readable CSV: one row per significant subgraph with columns
+// rank,p_value,anchor,vector_support,set_support,set_size,db_frequency,
+// edges,vertices,smiles.
+void WriteCsv(const GraphSigResult& result, std::ostream& os);
+
+}  // namespace graphsig::core
+
+#endif  // GRAPHSIG_CORE_REPORT_H_

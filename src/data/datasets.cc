@@ -1,0 +1,152 @@
+#include "data/datasets.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "data/elements.h"
+#include "util/check.h"
+
+namespace graphsig::data {
+namespace {
+
+struct PlantRule {
+  graph::Graph motif;
+  double rate_active;
+  double rate_inactive;
+};
+
+// Deterministic distinctive core for one screen: a five-ring of common
+// atoms with a characteristic rare heteroatom pendant and a ketone, so
+// each screen's active class deviates from background chemistry in its
+// own way.
+graph::Graph GeneratedSignature(uint64_t seed, graph::Label rare_atom) {
+  util::Rng rng(seed);
+  graph::Graph g;
+  const graph::Label ring_choices[3] = {kCarbon, kNitrogen, kOxygen};
+  for (int i = 0; i < 5; ++i) {
+    g.AddVertex(ring_choices[rng.NextBounded(3)]);
+  }
+  for (int i = 0; i < 5; ++i) {
+    g.AddEdge(i, (i + 1) % 5,
+              rng.NextBernoulli(0.4) ? kAromaticBond : kSingleBond);
+  }
+  graph::VertexId rare = g.AddVertex(rare_atom);
+  g.AddEdge(static_cast<graph::VertexId>(rng.NextBounded(5)), rare,
+            kSingleBond);
+  graph::VertexId keto = g.AddVertex(kOxygen);
+  // Attach the ketone to a different ring atom than the rare pendant when
+  // valence allows; fall back to any ring atom.
+  graph::VertexId host = static_cast<graph::VertexId>(rng.NextBounded(5));
+  if (g.HasEdge(host, rare)) host = (host + 1) % 5;
+  g.AddEdge(host, keto, kDoubleBond);
+  return g;
+}
+
+int ScreenIndex(const std::string& name) {
+  const auto& names = CancerScreenNames();
+  for (size_t i = 0; i < names.size(); ++i) {
+    if (names[i] == name) return static_cast<int>(i);
+  }
+  return -1;
+}
+
+graph::GraphDatabase BuildDataset(const DatasetOptions& options,
+                                  const std::vector<PlantRule>& rules) {
+  GS_CHECK_GT(options.size, 0u);
+  util::Rng rng(options.seed);
+  const size_t num_active = static_cast<size_t>(
+      std::llround(options.active_fraction * options.size));
+  const graph::Graph benzene = BenzeneMotif();
+
+  std::vector<graph::Graph> molecules;
+  molecules.reserve(options.size);
+  for (size_t i = 0; i < options.size; ++i) {
+    const bool active = i < num_active;
+    graph::Graph g = GenerateMolecule(options.molecule, &rng);
+    g.set_tag(active ? 1 : 0);
+    if (rng.NextBernoulli(options.benzene_rate)) {
+      PlantMotif(&g, benzene, &rng);
+    }
+    for (const PlantRule& rule : rules) {
+      const double rate = active ? rule.rate_active : rule.rate_inactive;
+      if (rng.NextBernoulli(rate)) {
+        PlantMotif(&g, rule.motif, &rng);
+      }
+    }
+    molecules.push_back(std::move(g));
+  }
+  rng.Shuffle(&molecules);
+  graph::GraphDatabase db;
+  db.Reserve(molecules.size());
+  for (size_t i = 0; i < molecules.size(); ++i) {
+    molecules[i].set_id(static_cast<int64_t>(i));
+    db.Add(std::move(molecules[i]));
+  }
+  return db;
+}
+
+}  // namespace
+
+const std::vector<std::string>& CancerScreenNames() {
+  static const std::vector<std::string>& names =
+      *new std::vector<std::string>{
+          "MCF-7",  "MOLT-4",   "NCI-H23", "OVCAR-8", "P388",  "PC-3",
+          "SF-295", "SN12C",    "SW-620",  "UACC-257", "Yeast"};
+  return names;
+}
+
+size_t PaperDatasetSize(const std::string& name) {
+  if (name == "AIDS") return 43905;
+  if (name == "MCF-7") return 28972;
+  if (name == "MOLT-4") return 41810;
+  if (name == "NCI-H23") return 42164;
+  if (name == "OVCAR-8") return 42386;
+  if (name == "P388") return 46440;
+  if (name == "PC-3") return 28679;
+  if (name == "SF-295") return 40350;
+  if (name == "SN12C") return 41855;
+  if (name == "SW-620") return 42405;
+  if (name == "UACC-257") return 41864;
+  if (name == "Yeast") return 83933;
+  GS_CHECK(false);
+  return 0;
+}
+
+graph::Graph SignatureMotif(const std::string& name) {
+  if (name == "AIDS") return AztCoreMotif();
+  if (name == "UACC-257") return PhosphoniumMotif();
+  const int index = ScreenIndex(name);
+  GS_CHECK_GE(index, 0);
+  static constexpr graph::Label kRareCycle[5] = {
+      kPhosphorus, kFluorine, kBromine, kIodine, kSodium};
+  return GeneratedSignature(0xC0FFEEull + 7919ull * index,
+                            kRareCycle[index % 5]);
+}
+
+graph::GraphDatabase MakeAidsLike(const DatasetOptions& options) {
+  std::vector<PlantRule> rules;
+  rules.push_back({AztCoreMotif(), options.signature_rate_active * 0.6,
+                   options.signature_rate_inactive * 0.6});
+  rules.push_back({FdtCoreMotif(), options.signature_rate_active * 0.4,
+                   options.signature_rate_inactive * 0.4});
+  return BuildDataset(options, rules);
+}
+
+graph::GraphDatabase MakeCancerScreen(const std::string& name,
+                                      const DatasetOptions& options) {
+  GS_CHECK_GE(ScreenIndex(name), 0);
+  std::vector<PlantRule> rules;
+  rules.push_back({SignatureMotif(name), options.signature_rate_active,
+                   options.signature_rate_inactive});
+  if (name == "MOLT-4") {
+    rules.push_back({MetalloidMotif(kAntimony),
+                     options.rare_analog_rate_active,
+                     options.rare_analog_rate_active / 100.0});
+    rules.push_back({MetalloidMotif(kBismuth),
+                     options.rare_analog_rate_active,
+                     options.rare_analog_rate_active / 100.0});
+  }
+  return BuildDataset(options, rules);
+}
+
+}  // namespace graphsig::data

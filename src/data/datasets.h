@@ -1,0 +1,56 @@
+#ifndef GRAPHSIG_DATA_DATASETS_H_
+#define GRAPHSIG_DATA_DATASETS_H_
+
+#include <string>
+#include <vector>
+
+#include "data/generator.h"
+#include "data/motifs.h"
+#include "graph/graph_database.h"
+
+namespace graphsig::data {
+
+// Synthetic stand-ins for the paper's twelve chemical screens (DTP-AIDS
+// plus eleven PubChem anti-cancer screens). Each dataset plants known
+// motifs so the quality experiments have exact ground truth:
+//   * benzene in ~70% of ALL molecules (frequent, not significant);
+//   * a dataset-specific "signature" motif in ~55% of actives and ~1% of
+//     inactives (the classification signal, Table VI);
+//   * for MOLT-4, the Sb and Bi analog cores in ~12% of actives each
+//     (global frequency well below 1% — the Fig. 15 pair);
+//   * for UACC-257, the signature motif is methyl-triphenylphosphonium
+//     (Fig. 14); for AIDS, the AZT and FDT cores (Fig. 13).
+// Graph tags: 1 = active, 0 = inactive (~5% active like the screens).
+struct DatasetOptions {
+  size_t size = 2000;
+  double active_fraction = 0.05;
+  uint64_t seed = 1;
+  double benzene_rate = 0.70;
+  double signature_rate_active = 0.55;
+  double signature_rate_inactive = 0.01;
+  double rare_analog_rate_active = 0.12;  // MOLT-4's Sb/Bi cores
+  MoleculeGenConfig molecule;
+};
+
+// Names of the eleven cancer-screen datasets (Table V).
+const std::vector<std::string>& CancerScreenNames();
+
+// Paper sizes of the screens (Table V), keyed like CancerScreenNames();
+// benches scale these down proportionally.
+size_t PaperDatasetSize(const std::string& name);
+
+// The AIDS-like dataset: actives carry the AZT core (60% of the
+// signature plants) or the FDT core (40%).
+graph::GraphDatabase MakeAidsLike(const DatasetOptions& options);
+
+// One of the eleven cancer screens by name.
+graph::GraphDatabase MakeCancerScreen(const std::string& name,
+                                      const DatasetOptions& options);
+
+// The signature motif planted into `name`'s active class (for recovery
+// checks). For "AIDS" this is the AZT core.
+graph::Graph SignatureMotif(const std::string& name);
+
+}  // namespace graphsig::data
+
+#endif  // GRAPHSIG_DATA_DATASETS_H_

@@ -1,0 +1,90 @@
+#include "data/elements.h"
+
+#include "util/check.h"
+#include "util/strings.h"
+
+namespace graphsig::data {
+
+std::string AtomSymbol(graph::Label label) {
+  switch (label) {
+    case kCarbon:
+      return "C";
+    case kOxygen:
+      return "O";
+    case kNitrogen:
+      return "N";
+    case kSulfur:
+      return "S";
+    case kChlorine:
+      return "Cl";
+    case kPhosphorus:
+      return "P";
+    case kFluorine:
+      return "F";
+    case kBromine:
+      return "Br";
+    case kIodine:
+      return "I";
+    case kSodium:
+      return "Na";
+    case kAntimony:
+      return "Sb";
+    case kBismuth:
+      return "Bi";
+    default:
+      GS_CHECK_GE(label, 0);
+      GS_CHECK_LT(label, kNumAtomTypes);
+      return util::StrPrintf("X%d", label);
+  }
+}
+
+std::string BondSymbol(graph::Label label) {
+  switch (label) {
+    case kSingleBond:
+      return "-";
+    case kDoubleBond:
+      return "=";
+    case kTripleBond:
+      return "#";
+    case kAromaticBond:
+      return ":";
+  }
+  GS_CHECK(false);
+  return "?";
+}
+
+const std::vector<double>& AtomAbundance() {
+  static const std::vector<double>& abundance = *[] {
+    auto* v = new std::vector<double>(kNumAtomTypes, 0.0);
+    // Top five: ~99% coverage, carbon-dominated like the NCI screens.
+    (*v)[kCarbon] = 0.660;
+    (*v)[kOxygen] = 0.134;
+    (*v)[kNitrogen] = 0.124;
+    (*v)[kSulfur] = 0.035;
+    (*v)[kChlorine] = 0.030;
+    // Next few named heteroatoms.
+    (*v)[kPhosphorus] = 0.0030;
+    (*v)[kFluorine] = 0.0025;
+    (*v)[kBromine] = 0.0020;
+    (*v)[kIodine] = 0.0012;
+    (*v)[kSodium] = 0.0010;
+    (*v)[kAntimony] = 0.0004;
+    (*v)[kBismuth] = 0.0004;
+    // Geometric tail over the anonymous rare types.
+    double rest = 1.0;
+    for (double x : *v) rest -= x;
+    double weight = 0.30;  // fraction of `rest` for the next type
+    double remaining = rest;
+    for (int label = 12; label < kNumAtomTypes; ++label) {
+      double share = (label + 1 == kNumAtomTypes)
+                         ? remaining
+                         : remaining * weight;
+      (*v)[label] = share;
+      remaining -= share;
+    }
+    return v;
+  }();
+  return abundance;
+}
+
+}  // namespace graphsig::data

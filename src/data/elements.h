@@ -1,0 +1,57 @@
+#ifndef GRAPHSIG_DATA_ELEMENTS_H_
+#define GRAPHSIG_DATA_ELEMENTS_H_
+
+#include <string>
+#include <vector>
+
+#include "graph/graph.h"
+
+namespace graphsig::data {
+
+// Atom-type labels used by the synthetic chemistry. The first five are
+// the dominant organic atoms (the paper's NCI datasets draw ~99% of all
+// atom occurrences from their top five types); the remainder form the
+// long tail up to kNumAtomTypes = 58 distinct types, matching the AIDS
+// screen's label-universe size.
+enum AtomLabel : graph::Label {
+  kCarbon = 0,
+  kOxygen = 1,
+  kNitrogen = 2,
+  kSulfur = 3,
+  kChlorine = 4,
+  kPhosphorus = 5,
+  kFluorine = 6,
+  kBromine = 7,
+  kIodine = 8,
+  kSodium = 9,
+  kAntimony = 10,  // Sb — the Fig. 15(a) metal
+  kBismuth = 11,   // Bi — the Fig. 15(b) metal
+  // Labels 12..57 are anonymous rare heteroatoms.
+};
+
+inline constexpr int kNumAtomTypes = 58;
+
+// Bond-type labels.
+enum BondLabel : graph::Label {
+  kSingleBond = 0,
+  kDoubleBond = 1,
+  kTripleBond = 2,
+  kAromaticBond = 3,
+};
+
+inline constexpr int kNumBondTypes = 4;
+
+// Symbol for an atom label ("C", "O", ..., "X12" for tail atoms).
+std::string AtomSymbol(graph::Label label);
+
+// Symbol for a bond label ("-", "=", "#", ":").
+std::string BondSymbol(graph::Label label);
+
+// Relative abundance of each atom type, normalized to sum 1. Calibrated
+// so the top five types cover ~99% of occurrences (Fig. 4) with a
+// geometric tail over the remaining 53.
+const std::vector<double>& AtomAbundance();
+
+}  // namespace graphsig::data
+
+#endif  // GRAPHSIG_DATA_ELEMENTS_H_

@@ -1,0 +1,97 @@
+#include "data/generator.h"
+
+#include <cmath>
+
+#include "data/elements.h"
+#include "util/check.h"
+
+namespace graphsig::data {
+
+graph::Graph GenerateMolecule(const MoleculeGenConfig& config,
+                              util::Rng* rng) {
+  GS_CHECK_GE(config.min_atoms, 1);
+  GS_CHECK_LE(config.min_atoms, config.max_atoms);
+  const int n = static_cast<int>(
+      rng->NextInt(config.min_atoms, config.max_atoms));
+  const std::vector<double>& abundance = AtomAbundance();
+
+  graph::Graph g;
+  for (int i = 0; i < n; ++i) {
+    g.AddVertex(static_cast<graph::Label>(rng->NextWeighted(abundance)));
+  }
+
+  auto sample_bond = [&]() -> graph::Label {
+    const double r = rng->NextDouble();
+    if (r < config.triple_bond_prob) return kTripleBond;
+    if (r < config.triple_bond_prob + config.double_bond_prob) {
+      return kDoubleBond;
+    }
+    return kSingleBond;
+  };
+
+  // Random spanning tree with valence-capped attachment: new atoms prefer
+  // parents with free valence, giving chains and branches like real
+  // molecules instead of hubs.
+  for (int i = 1; i < n; ++i) {
+    std::vector<double> weights(i);
+    double total = 0.0;
+    for (int j = 0; j < i; ++j) {
+      const int free = config.max_valence - g.degree(j);
+      weights[j] = free > 0 ? static_cast<double>(free) : 0.0;
+      total += weights[j];
+    }
+    graph::VertexId parent;
+    if (total > 0.0) {
+      parent = static_cast<graph::VertexId>(rng->NextWeighted(weights));
+    } else {
+      parent = static_cast<graph::VertexId>(rng->NextBounded(i));
+    }
+    g.AddEdge(parent, i, sample_bond());
+  }
+
+  // Ring closures between non-adjacent atoms with free valence.
+  const int closures = static_cast<int>(
+      std::floor(config.ring_closure_rate * n)) +
+      (rng->NextBernoulli(config.ring_closure_rate * n -
+                          std::floor(config.ring_closure_rate * n))
+           ? 1
+           : 0);
+  int added = 0;
+  for (int attempt = 0; attempt < 20 * closures && added < closures;
+       ++attempt) {
+    graph::VertexId u = static_cast<graph::VertexId>(rng->NextBounded(n));
+    graph::VertexId v = static_cast<graph::VertexId>(rng->NextBounded(n));
+    if (u == v || g.HasEdge(u, v)) continue;
+    if (g.degree(u) >= config.max_valence ||
+        g.degree(v) >= config.max_valence) {
+      continue;
+    }
+    g.AddEdge(u, v, rng->NextBernoulli(0.5) ? kAromaticBond : kSingleBond);
+    ++added;
+  }
+  return g;
+}
+
+void PlantMotif(graph::Graph* g, const graph::Graph& motif,
+                util::Rng* rng) {
+  GS_CHECK(g != nullptr);
+  GS_CHECK_GT(motif.num_vertices(), 0);
+  const graph::VertexId base = g->num_vertices();
+  for (graph::VertexId v = 0; v < motif.num_vertices(); ++v) {
+    g->AddVertex(motif.vertex_label(v));
+  }
+  for (const graph::EdgeRecord& e : motif.edges()) {
+    g->AddEdge(base + e.u, base + e.v, e.label);
+  }
+  if (base > 0) {
+    // Attach one motif vertex to the existing molecule.
+    const graph::VertexId anchor =
+        static_cast<graph::VertexId>(rng->NextBounded(base));
+    const graph::VertexId motif_vertex =
+        base + static_cast<graph::VertexId>(
+                   rng->NextBounded(motif.num_vertices()));
+    g->AddEdge(anchor, motif_vertex, kSingleBond);
+  }
+}
+
+}  // namespace graphsig::data

@@ -1,0 +1,34 @@
+#ifndef GRAPHSIG_DATA_GENERATOR_H_
+#define GRAPHSIG_DATA_GENERATOR_H_
+
+#include "graph/graph.h"
+#include "util/rng.h"
+
+namespace graphsig::data {
+
+// Random molecule-like graph generator calibrated to the statistics the
+// paper reports for the NCI screens: ~25.4 atoms and ~27.3 bonds per
+// molecule on average, atom types drawn from the skewed AtomAbundance()
+// distribution (top-5 atoms ~99% of mass), valence-capped connectivity,
+// and occasional ring closures.
+struct MoleculeGenConfig {
+  int min_atoms = 12;
+  int max_atoms = 38;              // uniform size => mean 25 atoms
+  double ring_closure_rate = 0.08;  // expected extra (cycle) edges per atom
+  double double_bond_prob = 0.12;
+  double triple_bond_prob = 0.02;
+  int max_valence = 4;
+};
+
+// One random molecule. Always connected; never empty.
+graph::Graph GenerateMolecule(const MoleculeGenConfig& config,
+                              util::Rng* rng);
+
+// Splices `motif` into `*g`: motif vertices and edges are appended intact
+// and one motif vertex is attached to a random existing vertex with a
+// single bond, so the motif is guaranteed to remain a subgraph of *g.
+void PlantMotif(graph::Graph* g, const graph::Graph& motif, util::Rng* rng);
+
+}  // namespace graphsig::data
+
+#endif  // GRAPHSIG_DATA_GENERATOR_H_

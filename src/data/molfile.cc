@@ -1,0 +1,210 @@
+#include "data/molfile.h"
+
+#include <map>
+#include <sstream>
+#include <vector>
+
+#include "data/elements.h"
+#include "util/check.h"
+#include "util/strings.h"
+
+namespace graphsig::data {
+namespace {
+
+using graph::Graph;
+using graph::Label;
+
+const std::map<std::string, Label>& SymbolTable() {
+  static const std::map<std::string, Label>& table = *[] {
+    auto* m = new std::map<std::string, Label>();
+    for (Label l = 0; l < kNumAtomTypes; ++l) {
+      (*m)[AtomSymbol(l)] = l;
+    }
+    return m;
+  }();
+  return table;
+}
+
+util::Result<Label> BondFromMolType(int64_t type) {
+  switch (type) {
+    case 1:
+      return static_cast<Label>(kSingleBond);
+    case 2:
+      return static_cast<Label>(kDoubleBond);
+    case 3:
+      return static_cast<Label>(kTripleBond);
+    case 4:
+      return static_cast<Label>(kAromaticBond);
+    default:
+      return util::Status::ParseError(
+          util::StrPrintf("unsupported bond type %lld",
+                          static_cast<long long>(type)));
+  }
+}
+
+int MolTypeFromBond(Label bond) {
+  switch (bond) {
+    case kSingleBond:
+      return 1;
+    case kDoubleBond:
+      return 2;
+    case kTripleBond:
+      return 3;
+    case kAromaticBond:
+      return 4;
+  }
+  GS_CHECK(false);
+  return 1;
+}
+
+}  // namespace
+
+util::Result<Graph> ParseMolBlock(std::string_view block) {
+  std::vector<std::string> lines =
+      util::SplitFields(std::string(block), '\n');
+  // Header: name, program, comment, counts.
+  if (lines.size() < 4) {
+    return util::Status::ParseError("molfile block too short");
+  }
+  const std::string counts(util::Trim(lines[3]));
+  if (counts.find("V2000") == std::string::npos) {
+    return util::Status::ParseError("only V2000 molfiles are supported");
+  }
+  std::vector<std::string> count_tokens = util::SplitTokens(counts);
+  if (count_tokens.size() < 2) {
+    return util::Status::ParseError("malformed counts line");
+  }
+  auto natoms = util::ParseInt(count_tokens[0]);
+  auto nbonds = util::ParseInt(count_tokens[1]);
+  if (!natoms.ok()) return natoms.status();
+  if (!nbonds.ok()) return nbonds.status();
+  if (natoms.value() < 0 || nbonds.value() < 0 ||
+      lines.size() < 4 + static_cast<size_t>(natoms.value()) +
+                         static_cast<size_t>(nbonds.value())) {
+    return util::Status::ParseError("molfile truncated");
+  }
+
+  Graph g;
+  for (int64_t i = 0; i < natoms.value(); ++i) {
+    const std::string& line = lines[4 + i];
+    // Atom line: x y z SYMBOL ... — token 3 is the symbol.
+    std::vector<std::string> tokens = util::SplitTokens(line);
+    if (tokens.size() < 4) {
+      return util::Status::ParseError(
+          util::StrPrintf("malformed atom line %lld",
+                          static_cast<long long>(i)));
+    }
+    auto it = SymbolTable().find(tokens[3]);
+    if (it == SymbolTable().end()) {
+      return util::Status::ParseError(
+          "unknown atom symbol: " + tokens[3]);
+    }
+    g.AddVertex(it->second);
+  }
+  for (int64_t i = 0; i < nbonds.value(); ++i) {
+    const std::string& line = lines[4 + natoms.value() + i];
+    std::vector<std::string> tokens = util::SplitTokens(line);
+    if (tokens.size() < 3) {
+      return util::Status::ParseError(
+          util::StrPrintf("malformed bond line %lld",
+                          static_cast<long long>(i)));
+    }
+    auto u = util::ParseInt(tokens[0]);
+    auto v = util::ParseInt(tokens[1]);
+    auto t = util::ParseInt(tokens[2]);
+    if (!u.ok()) return u.status();
+    if (!v.ok()) return v.status();
+    if (!t.ok()) return t.status();
+    if (u.value() < 1 || u.value() > g.num_vertices() || v.value() < 1 ||
+        v.value() > g.num_vertices() || u.value() == v.value()) {
+      return util::Status::ParseError("bond endpoint out of range");
+    }
+    auto bond = BondFromMolType(t.value());
+    if (!bond.ok()) return bond.status();
+    const graph::VertexId a = static_cast<graph::VertexId>(u.value() - 1);
+    const graph::VertexId b = static_cast<graph::VertexId>(v.value() - 1);
+    if (g.HasEdge(a, b)) {
+      return util::Status::ParseError("duplicate bond");
+    }
+    g.AddEdge(a, b, bond.value());
+  }
+  return g;
+}
+
+std::string WriteMolBlock(const Graph& g, const std::string& name) {
+  std::string out = name + "\n  graphsig\n\n";
+  out += util::StrPrintf("%3d%3d  0  0  0  0  0  0  0  0999 V2000\n",
+                         g.num_vertices(), g.num_edges());
+  for (graph::VertexId v = 0; v < g.num_vertices(); ++v) {
+    out += util::StrPrintf("    0.0000    0.0000    0.0000 %-3s 0  0\n",
+                           AtomSymbol(g.vertex_label(v)).c_str());
+  }
+  for (const graph::EdgeRecord& e : g.edges()) {
+    out += util::StrPrintf("%3d%3d%3d  0\n", e.u + 1, e.v + 1,
+                           MolTypeFromBond(e.label));
+  }
+  out += "M  END\n";
+  return out;
+}
+
+util::Result<graph::GraphDatabase> ParseSdf(std::string_view text) {
+  graph::GraphDatabase db;
+  std::vector<std::string> lines =
+      util::SplitFields(std::string(text), '\n');
+  size_t i = 0;
+  while (i < lines.size()) {
+    // Skip blank padding between records.
+    while (i < lines.size() && util::Trim(lines[i]).empty()) ++i;
+    if (i >= lines.size()) break;
+    // Collect the mol block up to "M  END".
+    std::string block;
+    bool saw_end = false;
+    while (i < lines.size()) {
+      block += lines[i];
+      block += '\n';
+      if (util::StartsWith(util::Trim(lines[i]), "M") &&
+          util::Trim(lines[i]).find("END") != std::string::npos) {
+        ++i;
+        saw_end = true;
+        break;
+      }
+      ++i;
+    }
+    if (!saw_end) {
+      return util::Status::ParseError("molfile block missing M  END");
+    }
+    auto parsed = ParseMolBlock(block);
+    if (!parsed.ok()) return parsed.status();
+    Graph g = std::move(parsed).value();
+    g.set_id(static_cast<int64_t>(db.size()));
+
+    // Data fields until "$$$$".
+    while (i < lines.size() && util::Trim(lines[i]) != "$$$$") {
+      std::string_view line = util::Trim(lines[i]);
+      if (util::StartsWith(line, ">") &&
+          (line.find("<activity>") != std::string_view::npos ||
+           line.find("<ACTIVITY>") != std::string_view::npos)) {
+        if (i + 1 < lines.size()) {
+          auto tag = util::ParseInt(util::Trim(lines[i + 1]));
+          if (tag.ok()) g.set_tag(static_cast<int32_t>(tag.value()));
+        }
+      }
+      ++i;
+    }
+    if (i < lines.size()) ++i;  // consume "$$$$"
+    db.Add(std::move(g));
+  }
+  return db;
+}
+
+std::string WriteSdf(const graph::GraphDatabase& db) {
+  std::string out;
+  for (const Graph& g : db.graphs()) {
+    out += WriteMolBlock(
+        g, util::StrPrintf("mol%lld", static_cast<long long>(g.id())));
+    out += util::StrPrintf("> <activity>\n%d\n\n$$$$\n", g.tag());
+  }
+  return out;
+}
+
+}  // namespace graphsig::data

@@ -1,0 +1,34 @@
+#ifndef GRAPHSIG_DATA_MOLFILE_H_
+#define GRAPHSIG_DATA_MOLFILE_H_
+
+#include <ostream>
+#include <string>
+#include <string_view>
+
+#include "graph/graph_database.h"
+#include "util/status.h"
+
+namespace graphsig::data {
+
+// MDL molfile (V2000) / SD-file support — the other format the NCI and
+// PubChem screens ship in. Coordinates are accepted and discarded
+// (GraphSig works on topology); written files carry zero coordinates.
+// Bond types map 1/2/3/4 <-> single/double/triple/aromatic.
+
+// Parses a single V2000 molfile block (up to and including "M  END").
+util::Result<graph::Graph> ParseMolBlock(std::string_view block);
+
+// Writes one molfile block. Labels must be understood by AtomSymbol().
+std::string WriteMolBlock(const graph::Graph& g, const std::string& name);
+
+// Parses an SD file: molfile blocks separated by "$$$$", each optionally
+// followed by data fields. A "> <activity>" (or "> <ACTIVITY>") field
+// with integer content sets the graph's tag.
+util::Result<graph::GraphDatabase> ParseSdf(std::string_view text);
+
+// Writes an SD file; every graph gets an "activity" field from its tag.
+std::string WriteSdf(const graph::GraphDatabase& db);
+
+}  // namespace graphsig::data
+
+#endif  // GRAPHSIG_DATA_MOLFILE_H_

@@ -1,0 +1,108 @@
+#include "data/motifs.h"
+
+#include "data/elements.h"
+#include "util/check.h"
+
+namespace graphsig::data {
+
+graph::Graph BenzeneMotif() {
+  graph::Graph g;
+  for (int i = 0; i < 6; ++i) g.AddVertex(kCarbon);
+  for (int i = 0; i < 6; ++i) g.AddEdge(i, (i + 1) % 6, kAromaticBond);
+  return g;
+}
+
+namespace {
+
+// Shared pyrimidine-like scaffold: ring N(0)-C(1)-N(2)-C(3)-C(4)-C(5)
+// with a ketone oxygen on C(1). Tail attaches at C(3).
+graph::Graph PyrimidinoneScaffold() {
+  graph::Graph g;
+  g.AddVertex(kNitrogen);  // 0
+  g.AddVertex(kCarbon);    // 1
+  g.AddVertex(kNitrogen);  // 2
+  g.AddVertex(kCarbon);    // 3
+  g.AddVertex(kCarbon);    // 4
+  g.AddVertex(kCarbon);    // 5
+  g.AddEdge(0, 1, kSingleBond);
+  g.AddEdge(1, 2, kSingleBond);
+  g.AddEdge(2, 3, kSingleBond);
+  g.AddEdge(3, 4, kDoubleBond);
+  g.AddEdge(4, 5, kSingleBond);
+  g.AddEdge(5, 0, kSingleBond);
+  g.AddVertex(kOxygen);  // 6: ketone on C1
+  g.AddEdge(1, 6, kDoubleBond);
+  return g;
+}
+
+}  // namespace
+
+graph::Graph AztCoreMotif() {
+  graph::Graph g = PyrimidinoneScaffold();
+  // Azide-like tail on C3: N-N=N.
+  graph::VertexId n1 = g.AddVertex(kNitrogen);
+  graph::VertexId n2 = g.AddVertex(kNitrogen);
+  graph::VertexId n3 = g.AddVertex(kNitrogen);
+  g.AddEdge(3, n1, kSingleBond);
+  g.AddEdge(n1, n2, kDoubleBond);
+  g.AddEdge(n2, n3, kDoubleBond);
+  return g;
+}
+
+graph::Graph FdtCoreMotif() {
+  graph::Graph g = PyrimidinoneScaffold();
+  // Fluorine replaces the azide tail (fluorinated AZT analog).
+  graph::VertexId f = g.AddVertex(kFluorine);
+  g.AddEdge(3, f, kSingleBond);
+  return g;
+}
+
+graph::Graph PhosphoniumMotif() {
+  graph::Graph g;
+  graph::VertexId p = g.AddVertex(kPhosphorus);  // 0
+  // Three phenyl stubs: C with two aromatic ring carbons each.
+  for (int arm = 0; arm < 3; ++arm) {
+    graph::VertexId ipso = g.AddVertex(kCarbon);
+    graph::VertexId ortho1 = g.AddVertex(kCarbon);
+    graph::VertexId ortho2 = g.AddVertex(kCarbon);
+    g.AddEdge(p, ipso, kSingleBond);
+    g.AddEdge(ipso, ortho1, kAromaticBond);
+    g.AddEdge(ipso, ortho2, kAromaticBond);
+  }
+  // The free methyl carbon where binding occurs.
+  graph::VertexId methyl = g.AddVertex(kCarbon);
+  g.AddEdge(p, methyl, kSingleBond);
+  return g;
+}
+
+graph::Graph MetalloidMotif(graph::Label metal) {
+  GS_CHECK(metal == kAntimony || metal == kBismuth);
+  graph::Graph g;
+  graph::VertexId m = g.AddVertex(metal);  // 0
+  // Two carboxylate-like arms: O=C-O bridging to the metal.
+  for (int arm = 0; arm < 2; ++arm) {
+    graph::VertexId o_bridge = g.AddVertex(kOxygen);
+    graph::VertexId c = g.AddVertex(kCarbon);
+    graph::VertexId o_keto = g.AddVertex(kOxygen);
+    g.AddEdge(m, o_bridge, kSingleBond);
+    g.AddEdge(o_bridge, c, kSingleBond);
+    g.AddEdge(c, o_keto, kDoubleBond);
+  }
+  // One direct metal-carbon bond.
+  graph::VertexId c_direct = g.AddVertex(kCarbon);
+  g.AddEdge(m, c_direct, kSingleBond);
+  return g;
+}
+
+std::vector<NamedMotif> AllNamedMotifs() {
+  return {
+      {"benzene", BenzeneMotif()},
+      {"azt_core", AztCoreMotif()},
+      {"fdt_core", FdtCoreMotif()},
+      {"phosphonium", PhosphoniumMotif()},
+      {"sb_core", MetalloidMotif(kAntimony)},
+      {"bi_core", MetalloidMotif(kBismuth)},
+  };
+}
+
+}  // namespace graphsig::data

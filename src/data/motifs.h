@@ -1,0 +1,47 @@
+#ifndef GRAPHSIG_DATA_MOTIFS_H_
+#define GRAPHSIG_DATA_MOTIFS_H_
+
+#include <string>
+#include <vector>
+
+#include "graph/graph.h"
+
+namespace graphsig::data {
+
+// Hand-built active-core motifs modeled on the substructures the paper
+// reports GraphSig recovering (Figs. 13-15). These are the ground-truth
+// patterns the synthetic datasets plant into their active classes, so the
+// quality benches can measure recovery exactly.
+
+// Plain benzene ring: 6 aromatic carbons. Ubiquitous (planted broadly),
+// frequent but NOT significant — the Fig. 16 negative control.
+graph::Graph BenzeneMotif();
+
+// Azido-pyrimidine-like core (Fig. 13a, the AZT family): a mixed C/N
+// six-ring with a ketone oxygen and an azide-like N=N tail.
+graph::Graph AztCoreMotif();
+
+// Fluorinated analog of the AZT core (Fig. 13b, the FDT family):
+// same scaffold with a fluorine replacing the azide tail.
+graph::Graph FdtCoreMotif();
+
+// Methyl-triphenylphosphonium core (Fig. 14): phosphorus bonded to three
+// ring-carbon stubs and one free methyl carbon.
+graph::Graph PhosphoniumMotif();
+
+// Metalloid motif (Fig. 15): an organometallic scaffold around `metal`
+// (use kAntimony / kBismuth). The two instances differ in exactly the
+// metal atom — the analog pair the paper highlights.
+graph::Graph MetalloidMotif(graph::Label metal);
+
+struct NamedMotif {
+  std::string name;
+  graph::Graph graph;
+};
+
+// All motifs above with stable names ("benzene", "azt_core", ...).
+std::vector<NamedMotif> AllNamedMotifs();
+
+}  // namespace graphsig::data
+
+#endif  // GRAPHSIG_DATA_MOTIFS_H_

@@ -1,0 +1,442 @@
+#include "data/smiles.h"
+
+#include <cctype>
+#include <map>
+#include <optional>
+#include <set>
+#include <vector>
+
+#include "data/elements.h"
+#include "util/check.h"
+#include "util/strings.h"
+
+namespace graphsig::data {
+namespace {
+
+using graph::Graph;
+using graph::Label;
+using graph::VertexId;
+
+const std::map<std::string, Label>& SymbolTable() {
+  static const std::map<std::string, Label>& table = *[] {
+    auto* m = new std::map<std::string, Label>();
+    for (Label l = 0; l < kNumAtomTypes; ++l) {
+      (*m)[AtomSymbol(l)] = l;
+    }
+    return m;
+  }();
+  return table;
+}
+
+bool IsOrganicSubset(const std::string& symbol) {
+  static const char* kOrganic[] = {"B", "C", "N", "O", "P",
+                                   "S", "F", "Cl", "Br", "I"};
+  for (const char* s : kOrganic) {
+    if (symbol == s) return true;
+  }
+  return false;
+}
+
+struct RingBond {
+  VertexId atom;
+  Label explicit_bond;  // -1 if unspecified at the opening occurrence
+  bool aromatic_atom;
+};
+
+class Parser {
+ public:
+  explicit Parser(std::string_view input) : input_(input) {}
+
+  util::Result<Graph> Run() {
+    while (pos_ < input_.size()) {
+      const char c = input_[pos_];
+      if (c == '(') {
+        if (prev_ < 0) return Error("branch before any atom");
+        stack_.push_back(prev_);
+        ++pos_;
+      } else if (c == ')') {
+        if (stack_.empty()) return Error("unbalanced ')'");
+        prev_ = stack_.back();
+        stack_.pop_back();
+        ++pos_;
+      } else if (c == '-' || c == '=' || c == '#' || c == ':') {
+        if (pending_bond_ >= 0) return Error("two bond symbols in a row");
+        pending_bond_ = BondFromChar(c);
+        ++pos_;
+      } else if (std::isdigit(static_cast<unsigned char>(c))) {
+        util::Status s = RingClosure(c - '0');
+        if (!s.ok()) return s;
+        ++pos_;
+      } else if (c == '%') {
+        if (pos_ + 2 >= input_.size() ||
+            !std::isdigit(static_cast<unsigned char>(input_[pos_ + 1])) ||
+            !std::isdigit(static_cast<unsigned char>(input_[pos_ + 2]))) {
+          return Error("malformed %nn ring closure");
+        }
+        const int number =
+            (input_[pos_ + 1] - '0') * 10 + (input_[pos_ + 2] - '0');
+        util::Status s = RingClosure(number);
+        if (!s.ok()) return s;
+        pos_ += 3;
+      } else if (c == '[') {
+        util::Status s = BracketAtom();
+        if (!s.ok()) return s;
+      } else if (std::isalpha(static_cast<unsigned char>(c))) {
+        util::Status s = BareAtom();
+        if (!s.ok()) return s;
+      } else if (c == '.' || c == '/' || c == '\\' || c == '@') {
+        return Error(util::StrPrintf("unsupported SMILES feature '%c'", c));
+      } else if (std::isspace(static_cast<unsigned char>(c))) {
+        break;  // trailing whitespace ends the molecule
+      } else {
+        return Error(util::StrPrintf("unexpected character '%c'", c));
+      }
+    }
+    if (!stack_.empty()) return Error("unbalanced '('");
+    if (!open_rings_.empty()) return Error("unclosed ring bond");
+    if (pending_bond_ >= 0) return Error("dangling bond symbol");
+    if (graph_.num_vertices() == 0) return Error("empty SMILES");
+    return std::move(graph_);
+  }
+
+ private:
+  util::Status Error(std::string message) const {
+    return util::Status::ParseError(util::StrPrintf(
+        "SMILES position %zu: %s", pos_, message.c_str()));
+  }
+
+  static Label BondFromChar(char c) {
+    switch (c) {
+      case '-':
+        return kSingleBond;
+      case '=':
+        return kDoubleBond;
+      case '#':
+        return kTripleBond;
+      case ':':
+        return kAromaticBond;
+    }
+    GS_CHECK(false);
+    return kSingleBond;
+  }
+
+  // Resolves the bond for a new attachment given the explicit symbol (if
+  // any) and the aromaticity of both endpoints.
+  static Label ResolveBond(Label explicit_bond, bool a_aromatic,
+                           bool b_aromatic) {
+    if (explicit_bond >= 0) return explicit_bond;
+    return (a_aromatic && b_aromatic) ? kAromaticBond : kSingleBond;
+  }
+
+  util::Status AttachAtom(Label label, bool aromatic) {
+    const VertexId v = graph_.AddVertex(label);
+    aromatic_.push_back(aromatic);
+    if (prev_ >= 0) {
+      const Label bond =
+          ResolveBond(pending_bond_, aromatic_[prev_], aromatic);
+      graph_.AddEdge(prev_, v, bond);
+    } else if (pending_bond_ >= 0) {
+      return Error("bond symbol before the first atom");
+    }
+    pending_bond_ = -1;
+    prev_ = v;
+    return util::Status::Ok();
+  }
+
+  util::Status RingClosure(int number) {
+    if (prev_ < 0) return Error("ring closure before any atom");
+    auto it = open_rings_.find(number);
+    if (it == open_rings_.end()) {
+      open_rings_[number] = {prev_, pending_bond_, aromatic_[prev_]};
+      pending_bond_ = -1;
+      return util::Status::Ok();
+    }
+    RingBond open = it->second;
+    open_rings_.erase(it);
+    if (open.atom == prev_) return Error("ring closure onto the same atom");
+    Label explicit_bond = open.explicit_bond;
+    if (pending_bond_ >= 0) {
+      if (explicit_bond >= 0 && explicit_bond != pending_bond_) {
+        return Error("conflicting bond symbols on ring closure");
+      }
+      explicit_bond = pending_bond_;
+      pending_bond_ = -1;
+    }
+    if (graph_.HasEdge(open.atom, prev_)) {
+      return Error("duplicate ring bond");
+    }
+    graph_.AddEdge(open.atom, prev_,
+                   ResolveBond(explicit_bond, open.aromatic_atom,
+                               aromatic_[prev_]));
+    return util::Status::Ok();
+  }
+
+  util::Status BareAtom() {
+    const char c = input_[pos_];
+    // Two-letter organic symbols first (Cl, Br).
+    if (pos_ + 1 < input_.size()) {
+      std::string two = {c, input_[pos_ + 1]};
+      if (two == "Cl" || two == "Br") {
+        pos_ += 2;
+        return AttachAtom(SymbolTable().at(two), false);
+      }
+    }
+    const bool aromatic = std::islower(static_cast<unsigned char>(c));
+    std::string symbol(1, static_cast<char>(
+                              std::toupper(static_cast<unsigned char>(c))));
+    if (aromatic && symbol != "B" && symbol != "C" && symbol != "N" &&
+        symbol != "O" && symbol != "P" && symbol != "S") {
+      return Error(util::StrPrintf("invalid aromatic atom '%c'", c));
+    }
+    auto it = SymbolTable().find(symbol);
+    if (it == SymbolTable().end() || !IsOrganicSubset(symbol)) {
+      return Error(util::StrPrintf(
+          "atom '%s' must be written in brackets", symbol.c_str()));
+    }
+    ++pos_;
+    return AttachAtom(it->second, aromatic);
+  }
+
+  util::Status BracketAtom() {
+    const size_t close = input_.find(']', pos_);
+    if (close == std::string_view::npos) return Error("unterminated '['");
+    std::string_view body = input_.substr(pos_ + 1, close - pos_ - 1);
+    size_t i = 0;
+    // Optional isotope digits (accepted, ignored).
+    while (i < body.size() &&
+           std::isdigit(static_cast<unsigned char>(body[i]))) {
+      ++i;
+    }
+    if (i >= body.size() ||
+        !std::isalpha(static_cast<unsigned char>(body[i]))) {
+      return Error("missing atom symbol in brackets");
+    }
+    const bool aromatic = std::islower(static_cast<unsigned char>(body[i]));
+    std::string symbol(1, static_cast<char>(std::toupper(
+                              static_cast<unsigned char>(body[i]))));
+    ++i;
+    // Lowercase letters extend the symbol ("Sb", "Na"); digits extend it
+    // only for the synthetic X-series ("X12") — otherwise digits are
+    // hydrogen counts.
+    while (i < body.size()) {
+      const char c = body[i];
+      if (std::islower(static_cast<unsigned char>(c)) ||
+          (std::isdigit(static_cast<unsigned char>(c)) &&
+           symbol[0] == 'X')) {
+        symbol += c;
+        ++i;
+      } else {
+        break;
+      }
+    }
+    // Accept and ignore hydrogen counts and charges: H, H2, +, ++, -, -2.
+    while (i < body.size()) {
+      const char c = body[i];
+      if (c == 'H' || c == '+' || c == '-' ||
+          std::isdigit(static_cast<unsigned char>(c))) {
+        ++i;
+      } else {
+        return Error(util::StrPrintf(
+            "unsupported bracket content '%c'", c));
+      }
+    }
+    auto it = SymbolTable().find(symbol);
+    if (it == SymbolTable().end()) {
+      return Error(
+          util::StrPrintf("unknown atom symbol '%s'", symbol.c_str()));
+    }
+    pos_ = close + 1;
+    return AttachAtom(it->second, aromatic);
+  }
+
+  std::string_view input_;
+  size_t pos_ = 0;
+  Graph graph_;
+  std::vector<bool> aromatic_;
+  VertexId prev_ = -1;
+  Label pending_bond_ = -1;
+  std::vector<VertexId> stack_;
+  std::map<int, RingBond> open_rings_;
+};
+
+// --- Writer.
+
+class Writer {
+ public:
+  explicit Writer(const Graph& g) : g_(g), visited_(g.num_vertices(), false) {
+    GS_CHECK_GT(g.num_vertices(), 0);
+    GS_CHECK(g.IsConnected());
+    AssignRingNumbers();
+  }
+
+  std::string Run() {
+    Emit(0, -1);
+    return out_;
+  }
+
+ private:
+  // Walks a DFS once to classify edges; every non-tree edge gets a ring
+  // number emitted at both endpoints.
+  void AssignRingNumbers() {
+    std::vector<bool> seen(g_.num_vertices(), false);
+    std::vector<bool> edge_tree(g_.num_edges(), false);
+    std::vector<VertexId> order;
+    order.push_back(0);
+    seen[0] = true;
+    // Iterative DFS matching Emit()'s traversal order.
+    Classify(0, seen, edge_tree);
+    int next_number = 1;
+    for (int32_t e = 0; e < g_.num_edges(); ++e) {
+      if (!edge_tree[e]) {
+        ring_number_[e] = next_number++;
+      }
+    }
+  }
+
+  void Classify(VertexId v, std::vector<bool>& seen,
+                std::vector<bool>& edge_tree) {
+    for (const graph::AdjEntry& adj : g_.neighbors(v)) {
+      if (!seen[adj.to]) {
+        seen[adj.to] = true;
+        edge_tree[adj.edge_index] = true;
+        Classify(adj.to, seen, edge_tree);
+      }
+    }
+  }
+
+  void EmitBond(Label bond) {
+    switch (bond) {
+      case kSingleBond:
+        break;  // implicit
+      case kDoubleBond:
+        out_ += '=';
+        break;
+      case kTripleBond:
+        out_ += '#';
+        break;
+      case kAromaticBond:
+        out_ += ':';
+        break;
+      default:
+        GS_CHECK(false);
+    }
+  }
+
+  void EmitAtom(VertexId v) {
+    const std::string symbol = AtomSymbol(g_.vertex_label(v));
+    if (IsOrganicSubset(symbol)) {
+      out_ += symbol;
+    } else {
+      out_ += '[';
+      out_ += symbol;
+      out_ += ']';
+    }
+  }
+
+  void EmitRingNumber(int number) {
+    if (number < 10) {
+      out_ += static_cast<char>('0' + number);
+    } else {
+      out_ += '%';
+      out_ += static_cast<char>('0' + number / 10);
+      out_ += static_cast<char>('0' + number % 10);
+    }
+  }
+
+  void Emit(VertexId v, Label incoming_bond) {
+    if (incoming_bond >= 0) EmitBond(incoming_bond);
+    EmitAtom(v);
+    visited_[v] = true;
+    // Ring-closure digits at this atom (bond symbol at the first
+    // occurrence only).
+    for (const graph::AdjEntry& adj : g_.neighbors(v)) {
+      auto it = ring_number_.find(adj.edge_index);
+      if (it == ring_number_.end()) continue;
+      if (!ring_opened_.count(it->second)) {
+        ring_opened_.insert(it->second);
+        EmitBond(adj.label);
+      }
+      EmitRingNumber(it->second);
+    }
+    // Tree children: every child but the last goes in parentheses.
+    std::vector<const graph::AdjEntry*> children;
+    for (const graph::AdjEntry& adj : g_.neighbors(v)) {
+      if (!visited_[adj.to] && !ring_number_.count(adj.edge_index)) {
+        children.push_back(&adj);
+      }
+    }
+    for (size_t i = 0; i < children.size(); ++i) {
+      // A child may have been visited through an earlier sibling only if
+      // its edge were a ring bond, which is excluded above.
+      GS_CHECK(!visited_[children[i]->to]);
+      if (i + 1 < children.size()) {
+        out_ += '(';
+        Emit(children[i]->to, children[i]->label);
+        out_ += ')';
+      } else {
+        Emit(children[i]->to, children[i]->label);
+      }
+    }
+  }
+
+  const Graph& g_;
+  std::vector<bool> visited_;
+  std::map<int32_t, int> ring_number_;  // edge index -> ring digit
+  std::set<int> ring_opened_;
+  std::string out_;
+};
+
+}  // namespace
+
+util::Result<Graph> ParseSmiles(std::string_view smiles) {
+  Parser parser(util::Trim(smiles));
+  return parser.Run();
+}
+
+std::string WriteSmiles(const Graph& g) {
+  Writer writer(g);
+  return writer.Run();
+}
+
+util::Result<graph::GraphDatabase> ParseSmilesLines(std::string_view text) {
+  graph::GraphDatabase db;
+  size_t line_no = 0;
+  for (const std::string& raw :
+       util::SplitFields(std::string(text), '\n')) {
+    ++line_no;
+    std::string_view line = util::Trim(raw);
+    if (line.empty() || line[0] == '#') continue;
+    std::vector<std::string> tokens = util::SplitTokens(line);
+    auto parsed = ParseSmiles(tokens[0]);
+    if (!parsed.ok()) {
+      return util::Status::ParseError(util::StrPrintf(
+          "line %zu: %s", line_no, parsed.status().message().c_str()));
+    }
+    Graph g = std::move(parsed).value();
+    g.set_id(static_cast<int64_t>(db.size()));
+    if (tokens.size() >= 2) {
+      auto tag = util::ParseInt(tokens[1]);
+      if (!tag.ok()) return tag.status();
+      g.set_tag(static_cast<int32_t>(tag.value()));
+    }
+    if (tokens.size() >= 3) {
+      auto id = util::ParseInt(tokens[2]);
+      if (!id.ok()) return id.status();
+      g.set_id(id.value());
+    }
+    db.Add(std::move(g));
+  }
+  return db;
+}
+
+std::string WriteSmilesLines(const graph::GraphDatabase& db) {
+  std::string out;
+  for (const Graph& g : db.graphs()) {
+    out += WriteSmiles(g);
+    out += util::StrPrintf(" %d %lld\n", g.tag(),
+                           static_cast<long long>(g.id()));
+  }
+  return out;
+}
+
+}  // namespace graphsig::data

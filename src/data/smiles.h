@@ -1,0 +1,48 @@
+#ifndef GRAPHSIG_DATA_SMILES_H_
+#define GRAPHSIG_DATA_SMILES_H_
+
+#include <string>
+#include <string_view>
+
+#include "graph/graph_database.h"
+#include "util/status.h"
+
+namespace graphsig::data {
+
+// SMILES support for the subset chemical screens actually use. The
+// NCI/PubChem datasets the paper evaluates on ship as SMILES/SDF, so a
+// downstream user needs this to feed real data through GraphSig.
+//
+// Supported grammar:
+//   * organic-subset atoms: B C N O P S F Cl Br I (two-letter symbols
+//     recognized greedily), plus any AtomSymbol() in brackets: [Sb],
+//     [Bi], [Na], [X12], ... (charges/H-counts inside brackets are
+//     accepted and ignored);
+//   * aromatic lowercase atoms: b c n o p s (an unspecified bond between
+//     two aromatic atoms becomes an aromatic bond);
+//   * bonds: '-' single, '=' double, '#' triple, ':' aromatic
+//     (unspecified defaults to single, or aromatic as above);
+//   * branches '(' ... ')' and ring closures 1-9, %nn.
+//
+// Not supported (rejected with ParseError): stereo markers (/ \ @),
+// isotopes, multi-component '.' SMILES.
+
+// Parses one SMILES string into a labeled graph.
+util::Result<graph::Graph> ParseSmiles(std::string_view smiles);
+
+// Writes a molecule as SMILES (uppercase symbols, explicit =/#/: bonds,
+// ring-closure digits for cycles). Round-trips through ParseSmiles to an
+// isomorphic graph. The graph must be connected and non-empty, with
+// labels understood by AtomSymbol()/BondSymbol().
+std::string WriteSmiles(const graph::Graph& g);
+
+// Parses a line-oriented file: "SMILES[ tag[ id]]" per line, '#' for
+// comments. Tag (activity class) and id are optional integers.
+util::Result<graph::GraphDatabase> ParseSmilesLines(std::string_view text);
+
+// Writes the database in the same line format.
+std::string WriteSmilesLines(const graph::GraphDatabase& db);
+
+}  // namespace graphsig::data
+
+#endif  // GRAPHSIG_DATA_SMILES_H_

@@ -1,0 +1,109 @@
+#include "features/feature_space.h"
+
+#include <algorithm>
+#include <set>
+
+#include "util/check.h"
+#include "util/strings.h"
+
+namespace graphsig::features {
+
+void FeatureSpace::AddVertexFeature(graph::Label label) {
+  if (vertex_slots_.count(label)) return;
+  vertex_slots_[label] = static_cast<int>(vertex_order_.size());
+  vertex_order_.push_back(label);
+}
+
+void FeatureSpace::AddEdgeFeature(graph::Label a, graph::Label b,
+                                  graph::Label edge_label) {
+  if (a > b) std::swap(a, b);
+  auto key = std::make_tuple(a, b, edge_label);
+  if (edge_slots_.count(key)) return;
+  edge_slots_[key] = static_cast<int>(edge_order_.size());
+  edge_order_.push_back({a, b, edge_label});
+}
+
+int FeatureSpace::VertexFeature(graph::Label label) const {
+  auto it = vertex_slots_.find(label);
+  return it == vertex_slots_.end() ? -1 : it->second;
+}
+
+int FeatureSpace::EdgeFeature(graph::Label a, graph::Label b,
+                              graph::Label edge_label) const {
+  if (a > b) std::swap(a, b);
+  auto it = edge_slots_.find(std::make_tuple(a, b, edge_label));
+  if (it == edge_slots_.end()) return -1;
+  // Edge slots come after all vertex slots in the flat layout.
+  return static_cast<int>(vertex_order_.size()) + it->second;
+}
+
+std::string FeatureSpace::FeatureName(
+    size_t slot, const graph::LabelDictionary* vdict,
+    const graph::LabelDictionary* edict) const {
+  GS_CHECK_LT(slot, size());
+  auto vname = [&](graph::Label l) -> std::string {
+    if (vdict != nullptr && vdict->Contains(l)) return vdict->Name(l);
+    return std::to_string(l);
+  };
+  auto ename = [&](graph::Label l) -> std::string {
+    if (edict != nullptr && edict->Contains(l)) return edict->Name(l);
+    return std::to_string(l);
+  };
+  if (slot < vertex_order_.size()) {
+    return "atom:" + vname(vertex_order_[slot]);
+  }
+  const EdgeType& e = edge_order_[slot - vertex_order_.size()];
+  return "edge:" + vname(e.a) + "-" + ename(e.edge_label) + "-" + vname(e.b);
+}
+
+FeatureSpace FeatureSpace::ForChemicalDatabase(const graph::GraphDatabase& db,
+                                               int top_k_atoms) {
+  FeatureSpace fs;
+  auto counts = db.VertexLabelCounts();
+  // All atom types are features, in frequency-descending order so slots
+  // are stable and the common atoms come first.
+  std::vector<std::pair<int64_t, graph::Label>> ranked;
+  for (const auto& [label, count] : counts) ranked.push_back({count, label});
+  std::sort(ranked.begin(), ranked.end(), [](const auto& x, const auto& y) {
+    if (x.first != y.first) return x.first > y.first;
+    return x.second < y.second;
+  });
+  for (const auto& [count, label] : ranked) fs.AddVertexFeature(label);
+
+  // Edge types between the top-k atoms.
+  std::set<graph::Label> top;
+  for (int i = 0; i < top_k_atoms && i < static_cast<int>(ranked.size());
+       ++i) {
+    top.insert(ranked[i].second);
+  }
+  for (const graph::Graph& g : db.graphs()) {
+    for (const graph::EdgeRecord& e : g.edges()) {
+      graph::Label la = g.vertex_label(e.u);
+      graph::Label lb = g.vertex_label(e.v);
+      if (top.count(la) && top.count(lb)) {
+        fs.AddEdgeFeature(la, lb, e.label);
+      }
+    }
+  }
+  return fs;
+}
+
+FeatureSpace FeatureSpace::VertexLabelsOnly(const graph::GraphDatabase& db) {
+  FeatureSpace fs;
+  for (const auto& [label, count] : db.VertexLabelCounts()) {
+    fs.AddVertexFeature(label);
+  }
+  return fs;
+}
+
+FeatureSpace FeatureSpace::AllEdgeTypes(const graph::GraphDatabase& db) {
+  FeatureSpace fs;
+  for (const graph::Graph& g : db.graphs()) {
+    for (const graph::EdgeRecord& e : g.edges()) {
+      fs.AddEdgeFeature(g.vertex_label(e.u), g.vertex_label(e.v), e.label);
+    }
+  }
+  return fs;
+}
+
+}  // namespace graphsig::features

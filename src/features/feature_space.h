@@ -1,0 +1,82 @@
+#ifndef GRAPHSIG_FEATURES_FEATURE_SPACE_H_
+#define GRAPHSIG_FEATURES_FEATURE_SPACE_H_
+
+#include <map>
+#include <string>
+#include <tuple>
+#include <vector>
+
+#include "graph/graph_database.h"
+#include "graph/io.h"
+
+namespace graphsig::features {
+
+// An edge-type feature: an unordered pair of endpoint labels plus the
+// edge label (a <= b).
+struct EdgeType {
+  graph::Label a;
+  graph::Label b;
+  graph::Label edge_label;
+
+  friend auto operator<=>(const EdgeType&, const EdgeType&) = default;
+};
+
+// The feature set F of Section II: a fixed, ordered collection of vertex-
+// label features and edge-type features. RWR distributes its visit mass
+// over these slots.
+//
+// The chemical-compound recipe (Section II-B) is ForChemicalDatabase():
+// every atom type is a vertex feature, and every edge type whose two
+// endpoints are both among the top-k most frequent atoms is an edge
+// feature. An atom feature only accumulates mass when the walker arrives
+// over an edge whose type is NOT itself a feature.
+class FeatureSpace {
+ public:
+  FeatureSpace() = default;
+
+  // All vertex labels of `db` as features, plus edge types between the
+  // `top_k_atoms` most frequent vertex labels (paper default: 5).
+  static FeatureSpace ForChemicalDatabase(const graph::GraphDatabase& db,
+                                          int top_k_atoms = 5);
+
+  // Vertex-label features only (loses adjacency structure).
+  static FeatureSpace VertexLabelsOnly(const graph::GraphDatabase& db);
+
+  // Every edge type in `db` as a feature, no vertex features (the
+  // Fig. 6 running-example configuration).
+  static FeatureSpace AllEdgeTypes(const graph::GraphDatabase& db);
+
+  // Manual construction.
+  void AddVertexFeature(graph::Label label);
+  void AddEdgeFeature(graph::Label a, graph::Label b,
+                      graph::Label edge_label);
+
+  size_t size() const {
+    return vertex_order_.size() + edge_order_.size();
+  }
+  size_t num_vertex_features() const { return vertex_order_.size(); }
+  size_t num_edge_features() const { return edge_order_.size(); }
+
+  // Feature slot for a vertex label, or -1 if not a feature.
+  int VertexFeature(graph::Label label) const;
+  // Feature slot for an edge type (endpoint order irrelevant), or -1.
+  int EdgeFeature(graph::Label a, graph::Label b,
+                  graph::Label edge_label) const;
+
+  // Human-readable slot name ("atom:C", "edge:C-1-N"); dictionaries are
+  // optional (numeric ids otherwise).
+  std::string FeatureName(size_t slot,
+                          const graph::LabelDictionary* vdict = nullptr,
+                          const graph::LabelDictionary* edict = nullptr) const;
+
+ private:
+  std::map<graph::Label, int> vertex_slots_;
+  std::map<std::tuple<graph::Label, graph::Label, graph::Label>, int>
+      edge_slots_;
+  std::vector<graph::Label> vertex_order_;
+  std::vector<EdgeType> edge_order_;
+};
+
+}  // namespace graphsig::features
+
+#endif  // GRAPHSIG_FEATURES_FEATURE_SPACE_H_

@@ -1,0 +1,43 @@
+#include "features/feature_vector.h"
+
+#include <algorithm>
+
+#include "util/check.h"
+
+namespace graphsig::features {
+
+bool IsSubVector(const FeatureVec& x, const FeatureVec& y) {
+  GS_CHECK_EQ(x.size(), y.size());
+  for (size_t i = 0; i < x.size(); ++i) {
+    if (x[i] > y[i]) return false;
+  }
+  return true;
+}
+
+FeatureVec Floor(const std::vector<const FeatureVec*>& vectors) {
+  GS_CHECK(!vectors.empty());
+  FeatureVec out = *vectors[0];
+  for (size_t k = 1; k < vectors.size(); ++k) {
+    const FeatureVec& v = *vectors[k];
+    GS_CHECK_EQ(v.size(), out.size());
+    for (size_t i = 0; i < out.size(); ++i) {
+      out[i] = std::min(out[i], v[i]);
+    }
+  }
+  return out;
+}
+
+FeatureVec Ceiling(const std::vector<const FeatureVec*>& vectors) {
+  GS_CHECK(!vectors.empty());
+  FeatureVec out = *vectors[0];
+  for (size_t k = 1; k < vectors.size(); ++k) {
+    const FeatureVec& v = *vectors[k];
+    GS_CHECK_EQ(v.size(), out.size());
+    for (size_t i = 0; i < out.size(); ++i) {
+      out[i] = std::max(out[i], v[i]);
+    }
+  }
+  return out;
+}
+
+}  // namespace graphsig::features

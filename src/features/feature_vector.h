@@ -1,0 +1,33 @@
+#ifndef GRAPHSIG_FEATURES_FEATURE_VECTOR_H_
+#define GRAPHSIG_FEATURES_FEATURE_VECTOR_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/graph.h"
+
+namespace graphsig::features {
+
+// Discretized feature vector: one slot per feature in a FeatureSpace,
+// values in [0, bins] (10 bins by default, per the paper).
+using FeatureVec = std::vector<int16_t>;
+
+// The feature vector produced by RWR from one node, plus its provenance.
+// GraphSig groups these by node_label and mines them with FVMine.
+struct NodeVector {
+  int32_t graph_index = -1;   // index of the source graph in its database
+  graph::VertexId node = -1;  // source node within that graph
+  graph::Label node_label = -1;
+  FeatureVec values;
+};
+
+// True iff x <= y slot-wise (Definition 3: x is a sub-feature vector).
+bool IsSubVector(const FeatureVec& x, const FeatureVec& y);
+
+// Slot-wise min / max over a non-empty set (Definition 5).
+FeatureVec Floor(const std::vector<const FeatureVec*>& vectors);
+FeatureVec Ceiling(const std::vector<const FeatureVec*>& vectors);
+
+}  // namespace graphsig::features
+
+#endif  // GRAPHSIG_FEATURES_FEATURE_VECTOR_H_

@@ -1,0 +1,263 @@
+#include <algorithm>
+#include <cmath>
+#include <deque>
+#include <map>
+#include <tuple>
+
+#include "fsm/dfs_code.h"
+#include "fsm/miner.h"
+#include "util/check.h"
+#include "util/timer.h"
+
+namespace graphsig::fsm {
+
+int64_t SupportFromPercent(double percent, size_t db_size) {
+  GS_CHECK_GE(percent, 0.0);
+  int64_t s = static_cast<int64_t>(
+      std::ceil(percent * static_cast<double>(db_size) / 100.0));
+  return std::max<int64_t>(s, 1);
+}
+
+namespace {
+
+using graph::AdjEntry;
+using graph::Graph;
+using graph::GraphDatabase;
+using graph::Label;
+using graph::VertexId;
+
+// One edge of an embedding chain. `prev` points into the miner's stable
+// pool; walking prev links reconstructs the full embedding of the code.
+struct Emb {
+  int32_t gid;
+  VertexId from;        // graph vertex the instance starts at
+  const AdjEntry* edge;  // instance: (to, label, edge_index)
+  const Emb* prev;
+};
+
+using Projected = std::vector<const Emb*>;
+
+// Expanded view of one embedding: which graph edges/vertices it uses and
+// where each DFS id landed.
+struct History {
+  std::vector<bool> edge_used;
+  std::vector<bool> vertex_used;
+  std::vector<VertexId> dfs_to_g;
+
+  History(const Graph& g, const DfsCode& code, const Emb* emb) {
+    edge_used.assign(g.num_edges(), false);
+    vertex_used.assign(g.num_vertices(), false);
+    std::vector<const Emb*> chain;
+    for (const Emb* e = emb; e != nullptr; e = e->prev) chain.push_back(e);
+    std::reverse(chain.begin(), chain.end());
+    GS_CHECK_EQ(chain.size(), code.size());
+    dfs_to_g.assign(code.NumVertices(), -1);
+    for (size_t i = 0; i < chain.size(); ++i) {
+      const Emb* e = chain[i];
+      edge_used[e->edge->edge_index] = true;
+      vertex_used[e->from] = true;
+      vertex_used[e->edge->to] = true;
+      if (i == 0) dfs_to_g[code[0].from] = e->from;
+      if (code[i].IsForward()) dfs_to_g[code[i].to] = e->edge->to;
+    }
+  }
+};
+
+struct DfsEdgeCmp {
+  bool operator()(const DfsEdge& a, const DfsEdge& b) const {
+    return DfsEdgeLess(a, b);
+  }
+};
+
+class GSpanMiner {
+ public:
+  GSpanMiner(const GraphDatabase& db, const MinerConfig& config)
+      : db_(db), config_(config) {}
+
+  MineResult Run() {
+    util::WallTimer timer;
+    if (config_.include_single_vertices && config_.min_edges <= 0) {
+      ReportSingleVertices();
+    }
+
+    // Frequent 1-edge seeds, grouped by (from_label, elabel, to_label)
+    // with from_label <= to_label; both orientations are kept as
+    // embeddings when the endpoint labels are equal.
+    std::map<std::tuple<Label, Label, Label>, Projected> roots;
+    for (size_t gid = 0; gid < db_.size(); ++gid) {
+      const Graph& g = db_.graph(gid);
+      for (VertexId v = 0; v < g.num_vertices(); ++v) {
+        for (const AdjEntry& adj : g.neighbors(v)) {
+          if (g.vertex_label(v) > g.vertex_label(adj.to)) continue;
+          pool_.push_back(
+              {static_cast<int32_t>(gid), v, &adj, nullptr});
+          roots[{g.vertex_label(v), adj.label, g.vertex_label(adj.to)}]
+              .push_back(&pool_.back());
+        }
+      }
+    }
+
+    DfsCode code;
+    for (const auto& [key, projected] : roots) {
+      if (stopped_) break;
+      code.Push({0, 1, std::get<0>(key), std::get<1>(key),
+                 std::get<2>(key)});
+      Project(code, projected);
+      code.Pop();
+    }
+
+    result_.seconds = timer.ElapsedSeconds();
+    result_.completed = !stopped_;
+    return std::move(result_);
+  }
+
+ private:
+  void ReportSingleVertices() {
+    std::map<Label, std::vector<int32_t>> by_label;
+    for (size_t gid = 0; gid < db_.size(); ++gid) {
+      const Graph& g = db_.graph(gid);
+      std::map<Label, bool> seen;
+      for (Label l : g.vertex_labels()) {
+        if (!seen[l]) {
+          seen[l] = true;
+          by_label[l].push_back(static_cast<int32_t>(gid));
+        }
+      }
+    }
+    for (const auto& [label, gids] : by_label) {
+      if (static_cast<int64_t>(gids.size()) < config_.min_support) continue;
+      Pattern p;
+      p.graph.AddVertex(label);
+      p.support = static_cast<int64_t>(gids.size());
+      p.supporting = gids;
+      Emit(std::move(p));
+      if (stopped_) return;
+    }
+  }
+
+  static std::vector<int32_t> DistinctGids(const Projected& projected) {
+    std::vector<int32_t> gids;
+    for (const Emb* e : projected) gids.push_back(e->gid);
+    std::sort(gids.begin(), gids.end());
+    gids.erase(std::unique(gids.begin(), gids.end()), gids.end());
+    return gids;
+  }
+
+  void Emit(Pattern p) {
+    result_.patterns.push_back(std::move(p));
+    if (result_.patterns.size() >= config_.max_patterns) stopped_ = true;
+  }
+
+  void Project(DfsCode& code, const Projected& projected) {
+    if (stopped_) return;
+    std::vector<int32_t> gids = DistinctGids(projected);
+    if (static_cast<int64_t>(gids.size()) < config_.min_support) return;
+    if (!IsMinimalDfsCode(code)) return;
+
+    ++result_.states_expanded;
+    if ((result_.states_expanded & 0x3f) == 0 &&
+        budget_timer_.ElapsedSeconds() > config_.budget_seconds) {
+      stopped_ = true;
+      return;
+    }
+
+    if (static_cast<int32_t>(code.size()) >= config_.min_edges) {
+      Pattern p;
+      p.graph = code.ToGraph();
+      p.support = static_cast<int64_t>(gids.size());
+      p.supporting = std::move(gids);
+      Emit(std::move(p));
+      if (stopped_) return;
+    }
+    if (static_cast<int32_t>(code.size()) >= config_.max_edges) return;
+
+    const std::vector<int> rmpath = code.BuildRmPath();
+    const int32_t maxtoc = code[rmpath[0]].to;
+    const Label rm_vertex_label = code[rmpath[0]].to_label;
+    const Label min_label = code[0].from_label;
+
+    // Child embeddings live in this frame's pool and are freed when all
+    // child branches have been explored (chains only point parent-ward).
+    std::deque<Emb> local_pool;
+    std::map<DfsEdge, Projected, DfsEdgeCmp> extensions;
+
+    for (const Emb* emb : projected) {
+      const Graph& g = db_.graph(emb->gid);
+      History h(g, code, emb);
+      const VertexId rm_g = h.dfs_to_g[maxtoc];
+
+      // Backward extensions off the rightmost vertex, closing onto a
+      // rightmost-path vertex (root side first).
+      for (int j = static_cast<int>(rmpath.size()) - 1; j >= 1; --j) {
+        const DfsEdge& e1 = code[rmpath[j]];
+        const VertexId to_g = h.dfs_to_g[e1.from];
+        for (const AdjEntry& adj : g.neighbors(rm_g)) {
+          if (adj.to != to_g) continue;
+          if (h.edge_used[adj.edge_index]) continue;
+          if (e1.edge_label < adj.label ||
+              (e1.edge_label == adj.label &&
+               e1.to_label <= rm_vertex_label)) {
+            DfsEdge key{maxtoc, e1.from, rm_vertex_label, adj.label,
+                        e1.from_label};
+            local_pool.push_back({emb->gid, rm_g, &adj, emb});
+            extensions[key].push_back(&local_pool.back());
+          }
+        }
+      }
+
+      // Pure forward from the rightmost vertex.
+      for (const AdjEntry& adj : g.neighbors(rm_g)) {
+        if (h.vertex_used[adj.to]) continue;
+        const Label tolabel = g.vertex_label(adj.to);
+        if (tolabel < min_label) continue;
+        DfsEdge key{maxtoc, maxtoc + 1, rm_vertex_label, adj.label,
+                    tolabel};
+        local_pool.push_back({emb->gid, rm_g, &adj, emb});
+        extensions[key].push_back(&local_pool.back());
+      }
+
+      // Forward branching off the rightmost path.
+      for (size_t j = 0; j < rmpath.size(); ++j) {
+        const DfsEdge& e1 = code[rmpath[j]];
+        const VertexId from_g = h.dfs_to_g[e1.from];
+        for (const AdjEntry& adj : g.neighbors(from_g)) {
+          if (h.vertex_used[adj.to]) continue;
+          const Label tolabel = g.vertex_label(adj.to);
+          if (tolabel < min_label) continue;
+          if (e1.edge_label < adj.label ||
+              (e1.edge_label == adj.label && e1.to_label <= tolabel)) {
+            DfsEdge key{e1.from, maxtoc + 1, e1.from_label, adj.label,
+                        tolabel};
+            local_pool.push_back({emb->gid, from_g, &adj, emb});
+            extensions[key].push_back(&local_pool.back());
+          }
+        }
+      }
+    }
+
+    for (const auto& [edge, child_projected] : extensions) {
+      if (stopped_) return;
+      code.Push(edge);
+      Project(code, child_projected);
+      code.Pop();
+    }
+  }
+
+  const GraphDatabase& db_;
+  const MinerConfig config_;
+  MineResult result_;
+  std::deque<Emb> pool_;  // stable storage for embedding chains
+  util::WallTimer budget_timer_;
+  bool stopped_ = false;
+};
+
+}  // namespace
+
+MineResult MineFrequentGSpan(const GraphDatabase& db,
+                             const MinerConfig& config) {
+  GS_CHECK_GE(config.min_support, 1);
+  GSpanMiner miner(db, config);
+  return miner.Run();
+}
+
+}  // namespace graphsig::fsm

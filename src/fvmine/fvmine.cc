@@ -1,0 +1,129 @@
+#include "fvmine/fvmine.h"
+
+#include "util/check.h"
+#include "util/timer.h"
+
+namespace graphsig::fvmine {
+namespace {
+
+using features::FeatureVec;
+
+class Searcher {
+ public:
+  Searcher(const std::vector<const FeatureVec*>& population,
+           const stats::FeaturePriors& priors, const FvMineConfig& config)
+      : population_(population), priors_(priors), config_(config) {
+    GS_CHECK(!population.empty());
+    GS_CHECK_EQ(priors.population_size(),
+                static_cast<int64_t>(population.size()));
+    width_ = population[0]->size();
+  }
+
+  FvMineResult Run() {
+    std::vector<int32_t> all(population_.size());
+    for (size_t i = 0; i < all.size(); ++i) all[i] = static_cast<int32_t>(i);
+    FeatureVec x = FloorOf(all);
+    if (static_cast<int64_t>(all.size()) >= config_.min_support) {
+      Search(x, all, 0);
+    }
+    result_.completed = !stopped_;
+    return std::move(result_);
+  }
+
+ private:
+  FeatureVec FloorOf(const std::vector<int32_t>& support_set) const {
+    std::vector<const FeatureVec*> refs;
+    refs.reserve(support_set.size());
+    for (int32_t i : support_set) refs.push_back(population_[i]);
+    return features::Floor(refs);
+  }
+
+  double Evaluate(const FeatureVec& x, int64_t support) const {
+    return config_.use_normal_approximation
+               ? priors_.PValueAuto(x, support)
+               : priors_.PValue(x, support);
+  }
+
+  FeatureVec CeilingOf(const std::vector<int32_t>& support_set) const {
+    std::vector<const FeatureVec*> refs;
+    refs.reserve(support_set.size());
+    for (int32_t i : support_set) refs.push_back(population_[i]);
+    return features::Ceiling(refs);
+  }
+
+  // Algorithm 1: x is the current closed vector (floor of S), S its
+  // supporting set, b the first feature position allowed to grow.
+  void Search(const FeatureVec& x, const std::vector<int32_t>& s, size_t b) {
+    if (stopped_) return;
+    ++result_.states_explored;
+    if ((result_.states_explored & 0xff) == 0 &&
+        timer_.ElapsedSeconds() > config_.budget_seconds) {
+      stopped_ = true;
+      return;
+    }
+
+    const double p_value = Evaluate(x, static_cast<int64_t>(s.size()));
+    if (p_value <= config_.max_pvalue) {
+      SignificantVector sv;
+      sv.vector = x;
+      sv.supporting = s;
+      sv.support = static_cast<int64_t>(s.size());
+      sv.p_value = p_value;
+      result_.vectors.push_back(std::move(sv));
+      if (result_.vectors.size() >= config_.max_results) {
+        stopped_ = true;
+        return;
+      }
+    }
+
+    for (size_t i = b; i < width_; ++i) {
+      // S' = vectors of S strictly above x on feature i.
+      std::vector<int32_t> s_prime;
+      for (int32_t idx : s) {
+        if ((*population_[idx])[i] > x[i]) s_prime.push_back(idx);
+      }
+      if (static_cast<int64_t>(s_prime.size()) < config_.min_support) {
+        continue;
+      }
+      FeatureVec x_prime = FloorOf(s_prime);
+      // Duplicate state: if the floor also rose on a feature before i,
+      // this state is reachable from an earlier branch.
+      bool duplicate = false;
+      for (size_t j = 0; j < i; ++j) {
+        if (x_prime[j] > x[j]) {
+          duplicate = true;
+          break;
+        }
+      }
+      if (duplicate) continue;
+      if (config_.use_ceiling_prune) {
+        // Optimistic bound: no descendant can beat the ceiling's p-value
+        // at the current support.
+        const double best_possible = Evaluate(
+            CeilingOf(s_prime), static_cast<int64_t>(s_prime.size()));
+        if (best_possible >= config_.max_pvalue) continue;
+      }
+      Search(x_prime, s_prime, i);
+      if (stopped_) return;
+    }
+  }
+
+  const std::vector<const FeatureVec*>& population_;
+  const stats::FeaturePriors& priors_;
+  const FvMineConfig config_;
+  size_t width_;
+  FvMineResult result_;
+  util::WallTimer timer_;
+  bool stopped_ = false;
+};
+
+}  // namespace
+
+FvMineResult FvMine(
+    const std::vector<const features::FeatureVec*>& population,
+    const stats::FeaturePriors& priors, const FvMineConfig& config) {
+  Searcher searcher(population, priors, config);
+  return searcher.Run();
+}
+
+}  // namespace graphsig::fvmine

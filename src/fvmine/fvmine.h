@@ -1,0 +1,51 @@
+#ifndef GRAPHSIG_FVMINE_FVMINE_H_
+#define GRAPHSIG_FVMINE_FVMINE_H_
+
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+#include "features/feature_vector.h"
+#include "stats/pvalue_model.h"
+
+namespace graphsig::fvmine {
+
+struct FvMineConfig {
+  int64_t min_support = 1;  // minSup of Algorithm 1
+  double max_pvalue = 0.1;  // maxPvalue of Algorithm 1
+  size_t max_results = std::numeric_limits<size_t>::max();
+  double budget_seconds = std::numeric_limits<double>::infinity();
+  // Line 10's optimistic prune (p-value of the ceiling at the current
+  // support). Disabling it is an ablation: same output, more states.
+  bool use_ceiling_prune = true;
+  // Section III-B's hybrid evaluation: use the normal approximation when
+  // m*P and m*(1-P) are large (threshold 50), the exact tail otherwise.
+  bool use_normal_approximation = false;
+};
+
+// A closed significant sub-feature vector found by FVMine.
+struct SignificantVector {
+  features::FeatureVec vector;      // floor of the supporting set
+  std::vector<int32_t> supporting;  // ascending indices into the population
+  int64_t support = 0;
+  double p_value = 1.0;
+};
+
+struct FvMineResult {
+  std::vector<SignificantVector> vectors;
+  uint64_t states_explored = 0;
+  bool completed = true;
+};
+
+// Mines every closed sub-feature vector of `population` whose support is
+// >= min_support and whose p-value (under `priors`, which must be built
+// over this same population) is <= max_pvalue. Bottom-up depth-first
+// search with support, duplicate-state, and optimistic-ceiling pruning
+// (Algorithm 1 of the paper / He & Singh's FVMine).
+FvMineResult FvMine(
+    const std::vector<const features::FeatureVec*>& population,
+    const stats::FeaturePriors& priors, const FvMineConfig& config);
+
+}  // namespace graphsig::fvmine
+
+#endif  // GRAPHSIG_FVMINE_FVMINE_H_

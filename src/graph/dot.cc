@@ -1,0 +1,31 @@
+#include "graph/dot.h"
+
+#include "util/strings.h"
+
+namespace graphsig::graph {
+
+std::string ToDot(
+    const Graph& g, const std::string& name,
+    const std::function<std::string(Label)>& vertex_label_name,
+    const std::function<std::string(Label)>& edge_label_name) {
+  auto vname = [&](Label l) {
+    return vertex_label_name ? vertex_label_name(l) : std::to_string(l);
+  };
+  auto ename = [&](Label l) {
+    return edge_label_name ? edge_label_name(l) : std::to_string(l);
+  };
+  std::string out = "graph " + name + " {\n";
+  out += "  node [shape=circle];\n";
+  for (VertexId v = 0; v < g.num_vertices(); ++v) {
+    out += util::StrPrintf("  n%d [label=\"%s\"];\n", v,
+                           vname(g.vertex_label(v)).c_str());
+  }
+  for (const EdgeRecord& e : g.edges()) {
+    out += util::StrPrintf("  n%d -- n%d [label=\"%s\"];\n", e.u, e.v,
+                           ename(e.label).c_str());
+  }
+  out += "}\n";
+  return out;
+}
+
+}  // namespace graphsig::graph

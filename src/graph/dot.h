@@ -1,0 +1,21 @@
+#ifndef GRAPHSIG_GRAPH_DOT_H_
+#define GRAPHSIG_GRAPH_DOT_H_
+
+#include <functional>
+#include <string>
+
+#include "graph/graph.h"
+
+namespace graphsig::graph {
+
+// Graphviz DOT rendering of one graph, for inspecting mined patterns
+// ("dot -Tpng pattern.dot"). Label printers default to the numeric ids;
+// callers pass e.g. data::AtomSymbol / data::BondSymbol for chemistry.
+std::string ToDot(
+    const Graph& g, const std::string& name = "g",
+    const std::function<std::string(Label)>& vertex_label_name = nullptr,
+    const std::function<std::string(Label)>& edge_label_name = nullptr);
+
+}  // namespace graphsig::graph
+
+#endif  // GRAPHSIG_GRAPH_DOT_H_

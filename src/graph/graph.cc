@@ -1,0 +1,110 @@
+#include "graph/graph.h"
+
+#include <deque>
+
+#include "util/check.h"
+#include "util/strings.h"
+
+namespace graphsig::graph {
+
+VertexId Graph::AddVertex(Label label) {
+  vertex_labels_.push_back(label);
+  adjacency_.emplace_back();
+  return static_cast<VertexId>(vertex_labels_.size() - 1);
+}
+
+int32_t Graph::AddEdge(VertexId u, VertexId v, Label label) {
+  GS_CHECK_GE(u, 0);
+  GS_CHECK_GE(v, 0);
+  GS_CHECK_LT(u, num_vertices());
+  GS_CHECK_LT(v, num_vertices());
+  GS_CHECK_NE(u, v);
+  GS_CHECK(!HasEdge(u, v));
+  int32_t index = static_cast<int32_t>(edges_.size());
+  edges_.push_back({u, v, label});
+  adjacency_[u].push_back({v, label, index});
+  adjacency_[v].push_back({u, label, index});
+  return index;
+}
+
+bool Graph::HasEdge(VertexId u, VertexId v) const {
+  return EdgeLabelBetween(u, v) >= 0;
+}
+
+Label Graph::EdgeLabelBetween(VertexId u, VertexId v) const {
+  if (u < 0 || u >= num_vertices() || v < 0 || v >= num_vertices()) {
+    return -1;
+  }
+  // Scan the shorter adjacency list.
+  const VertexId a = degree(u) <= degree(v) ? u : v;
+  const VertexId b = (a == u) ? v : u;
+  for (const AdjEntry& entry : adjacency_[a]) {
+    if (entry.to == b) return entry.label;
+  }
+  return -1;
+}
+
+std::vector<VertexId> Graph::VerticesWithinRadius(VertexId center,
+                                                  int radius) const {
+  GS_CHECK_GE(center, 0);
+  GS_CHECK_LT(center, num_vertices());
+  std::vector<int> dist(num_vertices(), -1);
+  std::vector<VertexId> order;
+  std::deque<VertexId> queue;
+  dist[center] = 0;
+  queue.push_back(center);
+  order.push_back(center);
+  while (!queue.empty()) {
+    VertexId u = queue.front();
+    queue.pop_front();
+    if (dist[u] == radius) continue;
+    for (const AdjEntry& entry : adjacency_[u]) {
+      if (dist[entry.to] < 0) {
+        dist[entry.to] = dist[u] + 1;
+        queue.push_back(entry.to);
+        order.push_back(entry.to);
+      }
+    }
+  }
+  return order;
+}
+
+Graph Graph::InducedSubgraph(const std::vector<VertexId>& vertices) const {
+  Graph sub(id_);
+  sub.set_tag(tag_);
+  std::vector<VertexId> map(num_vertices(), -1);
+  for (size_t k = 0; k < vertices.size(); ++k) {
+    VertexId v = vertices[k];
+    GS_CHECK_GE(v, 0);
+    GS_CHECK_LT(v, num_vertices());
+    GS_CHECK_EQ(map[v], -1);  // distinct
+    map[v] = static_cast<VertexId>(k);
+    sub.AddVertex(vertex_labels_[v]);
+  }
+  for (const EdgeRecord& e : edges_) {
+    if (map[e.u] >= 0 && map[e.v] >= 0) {
+      sub.AddEdge(map[e.u], map[e.v], e.label);
+    }
+  }
+  return sub;
+}
+
+bool Graph::IsConnected() const {
+  if (num_vertices() == 0) return true;
+  std::vector<VertexId> reached = VerticesWithinRadius(0, num_vertices());
+  return static_cast<int32_t>(reached.size()) == num_vertices();
+}
+
+std::string Graph::ToString() const {
+  std::string out = util::StrPrintf("graph id=%lld tag=%d\n",
+                                    static_cast<long long>(id_), tag_);
+  for (VertexId v = 0; v < num_vertices(); ++v) {
+    out += util::StrPrintf("  v %d %d\n", v, vertex_labels_[v]);
+  }
+  for (const EdgeRecord& e : edges_) {
+    out += util::StrPrintf("  e %d %d %d\n", e.u, e.v, e.label);
+  }
+  return out;
+}
+
+}  // namespace graphsig::graph

@@ -1,0 +1,44 @@
+#ifndef GRAPHSIG_GRAPH_ISOMORPHISM_H_
+#define GRAPHSIG_GRAPH_ISOMORPHISM_H_
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "graph/graph.h"
+
+namespace graphsig::graph {
+
+// Subgraph isomorphism (monomorphism) for labeled undirected graphs:
+// an injective vertex map where every pattern edge maps to a target edge
+// with matching vertex and edge labels. This is the FSM notion of
+// containment — the target may have extra edges among mapped vertices.
+//
+// The matcher is VF2-flavored backtracking: pattern vertices are visited
+// in a connected order starting from the globally rarest-labeled vertex,
+// with label/degree feasibility pruning. Molecule-scale graphs (tens of
+// vertices) resolve in microseconds.
+
+// True iff `pattern` occurs in `target`. An empty pattern always matches.
+bool IsSubgraphIsomorphic(const Graph& pattern, const Graph& target);
+
+// One embedding if it exists: element k is the target vertex that pattern
+// vertex k maps to.
+std::optional<std::vector<VertexId>> FindEmbedding(const Graph& pattern,
+                                                   const Graph& target);
+
+// Number of distinct embeddings (vertex maps), counted up to `limit`.
+uint64_t CountEmbeddings(const Graph& pattern, const Graph& target,
+                         uint64_t limit = UINT64_MAX);
+
+// Up to `limit` distinct embeddings; each element maps pattern vertex k
+// to a target vertex. Used by the apriori miner's candidate generation.
+std::vector<std::vector<VertexId>> FindAllEmbeddings(
+    const Graph& pattern, const Graph& target, uint64_t limit = UINT64_MAX);
+
+// Exact isomorphism: equal vertex/edge counts plus a monomorphism.
+bool AreIsomorphic(const Graph& a, const Graph& b);
+
+}  // namespace graphsig::graph
+
+#endif  // GRAPHSIG_GRAPH_ISOMORPHISM_H_

@@ -1,0 +1,52 @@
+#include "graph/statistics.h"
+
+#include <algorithm>
+#include <vector>
+
+#include "util/strings.h"
+
+namespace graphsig::graph {
+
+DatabaseStatistics ComputeStatistics(const GraphDatabase& db) {
+  DatabaseStatistics stats;
+  stats.num_graphs = db.size();
+  stats.total_vertices = db.TotalVertices();
+  stats.total_edges = db.TotalEdges();
+  if (!db.empty()) {
+    stats.mean_vertices =
+        static_cast<double>(stats.total_vertices) / db.size();
+    stats.mean_edges = static_cast<double>(stats.total_edges) / db.size();
+  }
+  for (const Graph& g : db.graphs()) {
+    stats.max_vertices = std::max(stats.max_vertices, g.num_vertices());
+    stats.num_tagged_positive += (g.tag() == 1);
+  }
+  auto vcounts = db.VertexLabelCounts();
+  stats.num_vertex_labels = vcounts.size();
+  stats.num_edge_labels = db.EdgeLabelCounts().size();
+  if (stats.total_vertices > 0) {
+    std::vector<int64_t> counts;
+    counts.reserve(vcounts.size());
+    for (const auto& [label, count] : vcounts) counts.push_back(count);
+    std::sort(counts.rbegin(), counts.rend());
+    int64_t top5 = 0;
+    for (size_t i = 0; i < counts.size() && i < 5; ++i) top5 += counts[i];
+    stats.top5_vertex_label_coverage_percent =
+        100.0 * static_cast<double>(top5) /
+        static_cast<double>(stats.total_vertices);
+  }
+  return stats;
+}
+
+std::string DescribeDatabase(const GraphDatabase& db) {
+  const DatabaseStatistics s = ComputeStatistics(db);
+  return util::StrPrintf(
+      "%zu graphs (%zu positive), %.1f vertices / %.1f edges per graph "
+      "(max %d vertices), %zu vertex labels (top-5 cover %.1f%%), "
+      "%zu edge labels",
+      s.num_graphs, s.num_tagged_positive, s.mean_vertices, s.mean_edges,
+      s.max_vertices, s.num_vertex_labels,
+      s.top5_vertex_label_coverage_percent, s.num_edge_labels);
+}
+
+}  // namespace graphsig::graph

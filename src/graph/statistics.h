@@ -1,0 +1,33 @@
+#ifndef GRAPHSIG_GRAPH_STATISTICS_H_
+#define GRAPHSIG_GRAPH_STATISTICS_H_
+
+#include <string>
+
+#include "graph/graph_database.h"
+
+namespace graphsig::graph {
+
+// Summary statistics of a graph database — the numbers the paper's
+// Section VI-A reports for its screens (sizes, mean vertices/edges,
+// label universe, class balance).
+struct DatabaseStatistics {
+  size_t num_graphs = 0;
+  int64_t total_vertices = 0;
+  int64_t total_edges = 0;
+  double mean_vertices = 0.0;
+  double mean_edges = 0.0;
+  int32_t max_vertices = 0;
+  size_t num_vertex_labels = 0;
+  size_t num_edge_labels = 0;
+  size_t num_tagged_positive = 0;  // tag == 1
+  double top5_vertex_label_coverage_percent = 0.0;
+};
+
+DatabaseStatistics ComputeStatistics(const GraphDatabase& db);
+
+// One-paragraph rendering ("2000 graphs, 25.4 atoms / 27.3 bonds ...").
+std::string DescribeDatabase(const GraphDatabase& db);
+
+}  // namespace graphsig::graph
+
+#endif  // GRAPHSIG_GRAPH_STATISTICS_H_

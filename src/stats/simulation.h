@@ -1,0 +1,48 @@
+#ifndef GRAPHSIG_STATS_SIMULATION_H_
+#define GRAPHSIG_STATS_SIMULATION_H_
+
+#include <cstdint>
+
+#include "graph/graph_database.h"
+#include "util/rng.h"
+
+namespace graphsig::stats {
+
+// The simulation approach GraphSig argues against (Section VII, Milo et
+// al.): estimate a pattern's p-value by generating many randomized
+// databases that preserve each graph's degree sequence and labels, and
+// counting how often the pattern's support meets the observed one. This
+// baseline exists to (a) validate the analytical feature-space model and
+// (b) measure the cost gap the paper claims.
+
+// Degree-preserving randomization of one graph: repeated double edge
+// swaps (u1-v1, u2-v2) -> (u1-v2, u2-v1) that keep the graph simple.
+// Vertex labels and degrees are preserved exactly; edge labels travel
+// with the swapped edges. `swaps_per_edge` controls mixing (default 10).
+graph::Graph RandomizeGraph(const graph::Graph& g, util::Rng* rng,
+                            int swaps_per_edge = 10);
+
+// Randomizes every graph in the database.
+graph::GraphDatabase RandomizeDatabase(const graph::GraphDatabase& db,
+                                       util::Rng* rng,
+                                       int swaps_per_edge = 10);
+
+struct SimulatedPValue {
+  int64_t observed_support = 0;   // support in the real database
+  int64_t exceed_count = 0;       // randomized DBs with support >= observed
+  int64_t num_databases = 0;
+  double p_value = 1.0;           // (exceed + 1) / (num + 1)
+  double seconds = 0.0;
+};
+
+// Estimates P[support >= observed] over `num_databases` randomized
+// copies. Resolution is bounded below by 1/(num_databases + 1) — the
+// imprecision for small p-values the paper points out.
+SimulatedPValue SimulatePatternPValue(const graph::GraphDatabase& db,
+                                      const graph::Graph& pattern,
+                                      int num_databases, uint64_t seed,
+                                      int swaps_per_edge = 10);
+
+}  // namespace graphsig::stats
+
+#endif  // GRAPHSIG_STATS_SIMULATION_H_

@@ -1,0 +1,36 @@
+#ifndef GRAPHSIG_UTIL_CHECK_H_
+#define GRAPHSIG_UTIL_CHECK_H_
+
+#include <cstdio>
+#include <cstdlib>
+
+// Invariant checks. These abort on failure; they guard programmer errors,
+// not recoverable conditions (use util::Status for those). Enabled in all
+// build types: the library's correctness claims depend on them.
+
+namespace graphsig::util::internal {
+
+[[noreturn]] inline void CheckFailed(const char* file, int line,
+                                     const char* expr) {
+  std::fprintf(stderr, "GS_CHECK failed at %s:%d: %s\n", file, line, expr);
+  std::abort();
+}
+
+}  // namespace graphsig::util::internal
+
+#define GS_CHECK(expr)                                                \
+  do {                                                                \
+    if (!(expr)) {                                                    \
+      ::graphsig::util::internal::CheckFailed(__FILE__, __LINE__,     \
+                                              #expr);                 \
+    }                                                                 \
+  } while (0)
+
+#define GS_CHECK_EQ(a, b) GS_CHECK((a) == (b))
+#define GS_CHECK_NE(a, b) GS_CHECK((a) != (b))
+#define GS_CHECK_LT(a, b) GS_CHECK((a) < (b))
+#define GS_CHECK_LE(a, b) GS_CHECK((a) <= (b))
+#define GS_CHECK_GT(a, b) GS_CHECK((a) > (b))
+#define GS_CHECK_GE(a, b) GS_CHECK((a) >= (b))
+
+#endif  // GRAPHSIG_UTIL_CHECK_H_

@@ -1,0 +1,25 @@
+#ifndef GRAPHSIG_UTIL_LOGGING_H_
+#define GRAPHSIG_UTIL_LOGGING_H_
+
+#include <string>
+
+namespace graphsig::util {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarning = 2, kError = 3 };
+
+// Process-wide minimum level; messages below it are dropped. Benches set
+// this to kWarning so timing loops stay quiet.
+void SetLogLevel(LogLevel level);
+LogLevel GetLogLevel();
+
+// Writes "[LEVEL] message" to stderr if `level` passes the filter.
+void Log(LogLevel level, const std::string& message);
+
+void LogDebug(const std::string& message);
+void LogInfo(const std::string& message);
+void LogWarning(const std::string& message);
+void LogError(const std::string& message);
+
+}  // namespace graphsig::util
+
+#endif  // GRAPHSIG_UTIL_LOGGING_H_

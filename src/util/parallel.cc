@@ -1,0 +1,38 @@
+#include "util/parallel.h"
+
+#include <atomic>
+#include <thread>
+#include <vector>
+
+namespace graphsig::util {
+
+int HardwareThreads() {
+  const unsigned n = std::thread::hardware_concurrency();
+  return n == 0 ? 1 : static_cast<int>(n);
+}
+
+void ParallelFor(int num_threads, size_t count,
+                 const std::function<void(size_t)>& fn) {
+  if (count == 0) return;
+  if (num_threads <= 1 || count == 1) {
+    for (size_t i = 0; i < count; ++i) fn(i);
+    return;
+  }
+  const size_t workers =
+      std::min<size_t>(static_cast<size_t>(num_threads), count);
+  std::atomic<size_t> next{0};
+  auto work = [&]() {
+    while (true) {
+      const size_t i = next.fetch_add(1, std::memory_order_relaxed);
+      if (i >= count) break;
+      fn(i);
+    }
+  };
+  std::vector<std::thread> threads;
+  threads.reserve(workers - 1);
+  for (size_t t = 1; t < workers; ++t) threads.emplace_back(work);
+  work();
+  for (std::thread& t : threads) t.join();
+}
+
+}  // namespace graphsig::util

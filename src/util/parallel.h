@@ -1,0 +1,23 @@
+#ifndef GRAPHSIG_UTIL_PARALLEL_H_
+#define GRAPHSIG_UTIL_PARALLEL_H_
+
+#include <cstddef>
+#include <functional>
+
+namespace graphsig::util {
+
+// Runs fn(i) for every i in [0, count), distributing indices over up to
+// `num_threads` worker threads (1 or 0 = run inline on the caller).
+// Blocks until every call returns. Work is claimed through an atomic
+// counter, so uneven per-item costs balance automatically. `fn` must be
+// safe to call concurrently for distinct indices; results stay
+// deterministic as long as each index writes only its own slots.
+void ParallelFor(int num_threads, size_t count,
+                 const std::function<void(size_t)>& fn);
+
+// Number of hardware threads (>= 1).
+int HardwareThreads();
+
+}  // namespace graphsig::util
+
+#endif  // GRAPHSIG_UTIL_PARALLEL_H_

@@ -1,0 +1,93 @@
+#ifndef GRAPHSIG_UTIL_STATUS_H_
+#define GRAPHSIG_UTIL_STATUS_H_
+
+#include <optional>
+#include <string>
+#include <utility>
+
+namespace graphsig::util {
+
+// Error category for a failed operation.
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,
+  kNotFound,
+  kOutOfRange,
+  kFailedPrecondition,
+  kInternal,
+  kIoError,
+  kParseError,
+};
+
+// Returns a stable human-readable name for `code` ("OK", "ParseError", ...).
+const char* StatusCodeName(StatusCode code);
+
+// Lightweight success-or-error value used by all recoverable operations in
+// the library (parsing, file I/O, user-supplied configuration). Invariant
+// violations use GS_CHECK instead; exceptions never cross public APIs.
+class Status {
+ public:
+  // Success.
+  Status() : code_(StatusCode::kOk) {}
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status Ok() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status FailedPrecondition(std::string msg) {
+    return Status(StatusCode::kFailedPrecondition, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+  static Status IoError(std::string msg) {
+    return Status(StatusCode::kIoError, std::move(msg));
+  }
+  static Status ParseError(std::string msg) {
+    return Status(StatusCode::kParseError, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  // "OK" or "<CodeName>: <message>".
+  std::string ToString() const;
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+// A Status plus a value of type T on success.
+template <typename T>
+class Result {
+ public:
+  // Implicit construction from a value (success) and from a Status (error)
+  // keeps call sites terse: `return value;` / `return Status::...;`.
+  Result(T value) : value_(std::move(value)) {}  // NOLINT(runtime/explicit)
+  Result(Status status) : status_(std::move(status)) {}  // NOLINT
+
+  bool ok() const { return status_.ok() && value_.has_value(); }
+  const Status& status() const { return status_; }
+
+  const T& value() const& { return *value_; }
+  T& value() & { return *value_; }
+  T&& value() && { return *std::move(value_); }
+
+ private:
+  Status status_;
+  std::optional<T> value_;
+};
+
+}  // namespace graphsig::util
+
+#endif  // GRAPHSIG_UTIL_STATUS_H_

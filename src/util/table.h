@@ -1,0 +1,43 @@
+#ifndef GRAPHSIG_UTIL_TABLE_H_
+#define GRAPHSIG_UTIL_TABLE_H_
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace graphsig::util {
+
+// Builds aligned plain-text tables; every bench prints its figure/table
+// reproduction through one of these so outputs stay uniform.
+class TablePrinter {
+ public:
+  explicit TablePrinter(std::vector<std::string> headers);
+
+  // Appends one row; must have the same arity as the headers.
+  void AddRow(std::vector<std::string> cells);
+
+  // Convenience: formats doubles with `precision` decimals.
+  static std::string Num(double v, int precision = 3);
+
+  // Renders with a header rule and right-padded columns.
+  void Print(std::ostream& os) const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+// Minimal CSV emitter (quotes fields containing comma/quote/newline) for
+// piping bench series into plotting tools.
+class CsvWriter {
+ public:
+  explicit CsvWriter(std::ostream& os) : os_(os) {}
+  void WriteRow(const std::vector<std::string>& cells);
+
+ private:
+  std::ostream& os_;
+};
+
+}  // namespace graphsig::util
+
+#endif  // GRAPHSIG_UTIL_TABLE_H_

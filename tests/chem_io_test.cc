@@ -1,0 +1,212 @@
+#include <gtest/gtest.h>
+
+#include "data/datasets.h"
+#include "data/elements.h"
+#include "data/generator.h"
+#include "data/molfile.h"
+#include "data/motifs.h"
+#include "data/smiles.h"
+#include "graph/isomorphism.h"
+#include "util/rng.h"
+
+namespace graphsig::data {
+namespace {
+
+TEST(SmilesParseTest, LinearChain) {
+  auto r = ParseSmiles("CCO");
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  const graph::Graph& g = r.value();
+  EXPECT_EQ(g.num_vertices(), 3);
+  EXPECT_EQ(g.num_edges(), 2);
+  EXPECT_EQ(g.vertex_label(0), kCarbon);
+  EXPECT_EQ(g.vertex_label(2), kOxygen);
+  EXPECT_EQ(g.edge(0).label, kSingleBond);
+}
+
+TEST(SmilesParseTest, ExplicitBonds) {
+  auto r = ParseSmiles("C=C#N");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value().EdgeLabelBetween(0, 1), kDoubleBond);
+  EXPECT_EQ(r.value().EdgeLabelBetween(1, 2), kTripleBond);
+}
+
+TEST(SmilesParseTest, BranchesAndRings) {
+  // Cyclohexanone-like: ring of 6 C with =O branch.
+  auto r = ParseSmiles("C1CCCCC1=O");
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  const graph::Graph& g = r.value();
+  EXPECT_EQ(g.num_vertices(), 7);
+  EXPECT_EQ(g.num_edges(), 7);
+  EXPECT_TRUE(g.HasEdge(0, 5));  // ring closure
+  EXPECT_EQ(g.EdgeLabelBetween(5, 6), kDoubleBond);
+}
+
+TEST(SmilesParseTest, AromaticLowercase) {
+  auto r = ParseSmiles("c1ccccc1");  // benzene
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_TRUE(graph::AreIsomorphic(r.value(), BenzeneMotif()));
+}
+
+TEST(SmilesParseTest, BracketAtoms) {
+  auto r = ParseSmiles("C[Sb](C)[Bi]");
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_EQ(r.value().vertex_label(1), kAntimony);
+  EXPECT_EQ(r.value().vertex_label(3), kBismuth);
+  auto x = ParseSmiles("[X12]C");
+  ASSERT_TRUE(x.ok()) << x.status().ToString();
+  EXPECT_EQ(x.value().vertex_label(0), 12);
+  auto h = ParseSmiles("[NH2]C");  // H-counts ignored
+  ASSERT_TRUE(h.ok()) << h.status().ToString();
+  EXPECT_EQ(h.value().vertex_label(0), kNitrogen);
+}
+
+TEST(SmilesParseTest, PercentRingClosure) {
+  auto r = ParseSmiles("C%12CCC%12");
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_EQ(r.value().num_edges(), 4);
+}
+
+TEST(SmilesParseTest, RejectsMalformedInput) {
+  EXPECT_FALSE(ParseSmiles("").ok());
+  EXPECT_FALSE(ParseSmiles("C(").ok());
+  EXPECT_FALSE(ParseSmiles("C)").ok());
+  EXPECT_FALSE(ParseSmiles("C1CC").ok());        // unclosed ring
+  EXPECT_FALSE(ParseSmiles("C11").ok());         // self ring
+  EXPECT_FALSE(ParseSmiles("C=").ok());          // dangling bond
+  EXPECT_FALSE(ParseSmiles("=C").ok());          // leading bond
+  EXPECT_FALSE(ParseSmiles("C.C").ok());         // components
+  EXPECT_FALSE(ParseSmiles("C/C=C/C").ok());     // stereo
+  EXPECT_FALSE(ParseSmiles("[Qq]").ok());        // unknown symbol
+  EXPECT_FALSE(ParseSmiles("C=#C").ok());        // double bond symbol
+  EXPECT_FALSE(ParseSmiles("Zz").ok());          // must be bracketed
+}
+
+TEST(SmilesParseTest, RingBondSymbolEitherSide) {
+  auto a = ParseSmiles("C=1CCCCC=1");
+  ASSERT_TRUE(a.ok()) << a.status().ToString();
+  EXPECT_EQ(a.value().EdgeLabelBetween(0, 5), kDoubleBond);
+  auto conflict = ParseSmiles("C=1CCCCC#1");
+  EXPECT_FALSE(conflict.ok());
+}
+
+TEST(SmilesWriteTest, KnownMolecules) {
+  // Writer output must re-parse to an isomorphic graph.
+  for (const NamedMotif& m : AllNamedMotifs()) {
+    std::string smiles = WriteSmiles(m.graph);
+    auto back = ParseSmiles(smiles);
+    ASSERT_TRUE(back.ok()) << m.name << ": " << smiles << " -> "
+                           << back.status().ToString();
+    EXPECT_TRUE(graph::AreIsomorphic(back.value(), m.graph))
+        << m.name << ": " << smiles;
+  }
+}
+
+class SmilesRoundTripTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(SmilesRoundTripTest, RandomMoleculeRoundTrips) {
+  util::Rng rng(8800 + GetParam());
+  MoleculeGenConfig config;
+  graph::Graph g = GenerateMolecule(config, &rng);
+  if (GetParam() % 2 == 0) {
+    PlantMotif(&g, AllNamedMotifs()[GetParam() % 6].graph, &rng);
+  }
+  std::string smiles = WriteSmiles(g);
+  auto back = ParseSmiles(smiles);
+  ASSERT_TRUE(back.ok()) << smiles << " -> " << back.status().ToString();
+  EXPECT_TRUE(graph::AreIsomorphic(back.value(), g)) << smiles;
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SmilesRoundTripTest,
+                         ::testing::Range(0, 30));
+
+TEST(SmilesLinesTest, ParsesTagsAndIds) {
+  const char* text =
+      "# comment\n"
+      "CCO 1 42\n"
+      "\n"
+      "c1ccccc1 0\n"
+      "CC\n";
+  auto db = ParseSmilesLines(text);
+  ASSERT_TRUE(db.ok()) << db.status().ToString();
+  ASSERT_EQ(db.value().size(), 3u);
+  EXPECT_EQ(db.value().graph(0).tag(), 1);
+  EXPECT_EQ(db.value().graph(0).id(), 42);
+  EXPECT_EQ(db.value().graph(1).tag(), 0);
+  EXPECT_EQ(db.value().graph(2).tag(), 0);
+}
+
+TEST(SmilesLinesTest, RoundTripDatabase) {
+  DatasetOptions options;
+  options.size = 25;
+  options.seed = 31;
+  graph::GraphDatabase db = MakeAidsLike(options);
+  std::string text = WriteSmilesLines(db);
+  auto back = ParseSmilesLines(text);
+  ASSERT_TRUE(back.ok()) << back.status().ToString();
+  ASSERT_EQ(back.value().size(), db.size());
+  for (size_t i = 0; i < db.size(); ++i) {
+    EXPECT_TRUE(graph::AreIsomorphic(back.value().graph(i), db.graph(i)));
+    EXPECT_EQ(back.value().graph(i).tag(), db.graph(i).tag());
+    EXPECT_EQ(back.value().graph(i).id(), db.graph(i).id());
+  }
+}
+
+TEST(MolfileTest, RoundTripSingleBlock) {
+  graph::Graph g = AztCoreMotif();
+  std::string block = WriteMolBlock(g, "azt");
+  auto back = ParseMolBlock(block);
+  ASSERT_TRUE(back.ok()) << back.status().ToString();
+  EXPECT_TRUE(graph::AreIsomorphic(back.value(), g));
+}
+
+TEST(MolfileTest, ParsesHandWrittenBlock) {
+  const char* block =
+      "ethanol\n"
+      "  test\n"
+      "\n"
+      "  3  2  0  0  0  0  0  0  0  0999 V2000\n"
+      "    0.0000    0.0000    0.0000 C   0  0\n"
+      "    1.0000    0.0000    0.0000 C   0  0\n"
+      "    2.0000    0.0000    0.0000 O   0  0\n"
+      "  1  2  1  0\n"
+      "  2  3  1  0\n"
+      "M  END\n";
+  auto r = ParseMolBlock(block);
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_EQ(r.value().num_vertices(), 3);
+  EXPECT_EQ(r.value().vertex_label(2), kOxygen);
+}
+
+TEST(MolfileTest, RejectsMalformedBlocks) {
+  EXPECT_FALSE(ParseMolBlock("tiny\n").ok());
+  const char* v3000 =
+      "x\n\n\n  0  0  0  0  0  0  0  0  0  0999 V3000\nM  END\n";
+  EXPECT_FALSE(ParseMolBlock(v3000).ok());
+  const char* bad_bond =
+      "x\n\n\n  2  1  0  0  0  0  0  0  0  0999 V2000\n"
+      "    0 0 0 C 0\n    0 0 0 C 0\n  1  2  9  0\nM  END\n";
+  EXPECT_FALSE(ParseMolBlock(bad_bond).ok());
+  const char* out_of_range =
+      "x\n\n\n  2  1  0  0  0  0  0  0  0  0999 V2000\n"
+      "    0 0 0 C 0\n    0 0 0 C 0\n  1  5  1  0\nM  END\n";
+  EXPECT_FALSE(ParseMolBlock(out_of_range).ok());
+}
+
+TEST(MolfileTest, SdfRoundTripWithActivity) {
+  DatasetOptions options;
+  options.size = 15;
+  options.seed = 33;
+  options.active_fraction = 0.2;
+  graph::GraphDatabase db = MakeCancerScreen("P388", options);
+  std::string sdf = WriteSdf(db);
+  auto back = ParseSdf(sdf);
+  ASSERT_TRUE(back.ok()) << back.status().ToString();
+  ASSERT_EQ(back.value().size(), db.size());
+  for (size_t i = 0; i < db.size(); ++i) {
+    EXPECT_TRUE(graph::AreIsomorphic(back.value().graph(i), db.graph(i)));
+    EXPECT_EQ(back.value().graph(i).tag(), db.graph(i).tag());
+  }
+}
+
+}  // namespace
+}  // namespace graphsig::data

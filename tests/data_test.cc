@@ -1,0 +1,215 @@
+#include <gtest/gtest.h>
+
+#include <numeric>
+#include <set>
+
+#include "data/datasets.h"
+#include "data/elements.h"
+#include "data/generator.h"
+#include "data/motifs.h"
+#include "graph/isomorphism.h"
+
+namespace graphsig::data {
+namespace {
+
+TEST(ElementsTest, AbundanceIsDistributionWithTopFiveDominant) {
+  const auto& a = AtomAbundance();
+  ASSERT_EQ(a.size(), static_cast<size_t>(kNumAtomTypes));
+  double total = std::accumulate(a.begin(), a.end(), 0.0);
+  EXPECT_NEAR(total, 1.0, 1e-9);
+  double top5 = a[kCarbon] + a[kOxygen] + a[kNitrogen] + a[kSulfur] +
+                a[kChlorine];
+  EXPECT_GE(top5, 0.98);
+  for (double x : a) EXPECT_GT(x, 0.0);
+  EXPECT_GT(a[kCarbon], a[kOxygen]);
+}
+
+TEST(ElementsTest, SymbolsAreDistinct) {
+  std::set<std::string> symbols;
+  for (int l = 0; l < kNumAtomTypes; ++l) {
+    EXPECT_TRUE(symbols.insert(AtomSymbol(l)).second) << l;
+  }
+  EXPECT_EQ(AtomSymbol(kAntimony), "Sb");
+  EXPECT_EQ(AtomSymbol(kBismuth), "Bi");
+  EXPECT_EQ(BondSymbol(kDoubleBond), "=");
+}
+
+TEST(MotifsTest, AllMotifsAreConnectedAndNonTrivial) {
+  for (const NamedMotif& m : AllNamedMotifs()) {
+    EXPECT_TRUE(m.graph.IsConnected()) << m.name;
+    EXPECT_GE(m.graph.num_vertices(), 5) << m.name;
+    EXPECT_GE(m.graph.num_edges(), 5) << m.name;
+  }
+}
+
+TEST(MotifsTest, AztAndFdtShareScaffoldButDiffer) {
+  graph::Graph azt = AztCoreMotif();
+  graph::Graph fdt = FdtCoreMotif();
+  EXPECT_FALSE(graph::AreIsomorphic(azt, fdt));
+  // FDT carries fluorine; AZT carries the triple-nitrogen tail.
+  auto has_label = [](const graph::Graph& g, graph::Label l) {
+    for (graph::Label x : g.vertex_labels()) {
+      if (x == l) return true;
+    }
+    return false;
+  };
+  EXPECT_TRUE(has_label(fdt, kFluorine));
+  EXPECT_FALSE(has_label(azt, kFluorine));
+}
+
+TEST(MotifsTest, SbAndBiCoresAreAnalogs) {
+  graph::Graph sb = MetalloidMotif(kAntimony);
+  graph::Graph bi = MetalloidMotif(kBismuth);
+  EXPECT_FALSE(graph::AreIsomorphic(sb, bi));
+  // Relabeling the metal makes them identical — the Fig. 15 analog pair.
+  graph::Graph sb_relabeled;
+  for (graph::Label l : sb.vertex_labels()) {
+    sb_relabeled.AddVertex(l == kAntimony ? kBismuth : l);
+  }
+  for (const graph::EdgeRecord& e : sb.edges()) {
+    sb_relabeled.AddEdge(e.u, e.v, e.label);
+  }
+  EXPECT_TRUE(graph::AreIsomorphic(sb_relabeled, bi));
+}
+
+TEST(GeneratorTest, MoleculesAreConnectedAndSized) {
+  util::Rng rng(101);
+  MoleculeGenConfig config;
+  for (int i = 0; i < 50; ++i) {
+    graph::Graph g = GenerateMolecule(config, &rng);
+    EXPECT_TRUE(g.IsConnected());
+    EXPECT_GE(g.num_vertices(), config.min_atoms);
+    EXPECT_LE(g.num_vertices(), config.max_atoms);
+    EXPECT_GE(g.num_edges(), g.num_vertices() - 1);
+  }
+}
+
+TEST(GeneratorTest, StatisticsMatchNciCalibration) {
+  util::Rng rng(202);
+  MoleculeGenConfig config;
+  int64_t atoms = 0, bonds = 0, carbons = 0;
+  const int n = 400;
+  for (int i = 0; i < n; ++i) {
+    graph::Graph g = GenerateMolecule(config, &rng);
+    atoms += g.num_vertices();
+    bonds += g.num_edges();
+    for (graph::Label l : g.vertex_labels()) carbons += (l == kCarbon);
+  }
+  const double mean_atoms = static_cast<double>(atoms) / n;
+  const double bond_ratio = static_cast<double>(bonds) / atoms;
+  EXPECT_NEAR(mean_atoms, 25.0, 2.0);       // paper: 25.4
+  EXPECT_NEAR(bond_ratio, 1.06, 0.05);      // paper: 27.3/25.4 = 1.075
+  EXPECT_NEAR(static_cast<double>(carbons) / atoms, 0.660, 0.03);
+}
+
+TEST(GeneratorTest, ValenceRespected) {
+  util::Rng rng(303);
+  MoleculeGenConfig config;
+  for (int i = 0; i < 20; ++i) {
+    graph::Graph g = GenerateMolecule(config, &rng);
+    for (graph::VertexId v = 0; v < g.num_vertices(); ++v) {
+      EXPECT_LE(g.degree(v), config.max_valence);
+    }
+  }
+}
+
+TEST(GeneratorTest, PlantedMotifRemainsSubgraph) {
+  util::Rng rng(404);
+  MoleculeGenConfig config;
+  graph::Graph motif = AztCoreMotif();
+  for (int i = 0; i < 20; ++i) {
+    graph::Graph g = GenerateMolecule(config, &rng);
+    PlantMotif(&g, motif, &rng);
+    EXPECT_TRUE(g.IsConnected());
+    EXPECT_TRUE(graph::IsSubgraphIsomorphic(motif, g));
+  }
+}
+
+TEST(DatasetsTest, NamesAndSizes) {
+  EXPECT_EQ(CancerScreenNames().size(), 11u);
+  EXPECT_EQ(PaperDatasetSize("AIDS"), 43905u);
+  EXPECT_EQ(PaperDatasetSize("Yeast"), 83933u);
+}
+
+TEST(DatasetsTest, DeterministicBySeed) {
+  DatasetOptions options;
+  options.size = 30;
+  options.seed = 7;
+  auto a = MakeAidsLike(options);
+  auto b = MakeAidsLike(options);
+  ASSERT_EQ(a.size(), b.size());
+  for (size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a.graph(i), b.graph(i));
+  }
+  options.seed = 8;
+  auto c = MakeAidsLike(options);
+  bool any_diff = false;
+  for (size_t i = 0; i < a.size(); ++i) {
+    if (!(a.graph(i) == c.graph(i))) any_diff = true;
+  }
+  EXPECT_TRUE(any_diff);
+}
+
+TEST(DatasetsTest, ActiveFractionAndPlantRates) {
+  DatasetOptions options;
+  options.size = 600;
+  options.seed = 11;
+  graph::GraphDatabase db = MakeAidsLike(options);
+  ASSERT_EQ(db.size(), 600u);
+
+  const graph::Graph azt = AztCoreMotif();
+  const graph::Graph benzene = BenzeneMotif();
+  int actives = 0, actives_with_azt = 0, inactives_with_azt = 0;
+  int with_benzene = 0;
+  for (const graph::Graph& g : db.graphs()) {
+    const bool has_azt = graph::IsSubgraphIsomorphic(azt, g);
+    if (g.tag() == 1) {
+      ++actives;
+      actives_with_azt += has_azt;
+    } else {
+      inactives_with_azt += has_azt;
+    }
+    with_benzene += graph::IsSubgraphIsomorphic(benzene, g);
+  }
+  EXPECT_NEAR(actives / 600.0, 0.05, 0.001);
+  // AZT planted in ~33% of actives (0.55 * 0.6); random occurrence of a
+  // 10-atom rare-labeled core elsewhere is essentially impossible.
+  EXPECT_GT(actives_with_azt, actives / 5);
+  EXPECT_LT(inactives_with_azt / 570.0, 0.03);
+  EXPECT_NEAR(with_benzene / 600.0, 0.70, 0.10);
+}
+
+TEST(DatasetsTest, MoltFourPlantsRareAnalogsBelowOnePercent) {
+  DatasetOptions options;
+  options.size = 800;
+  options.seed = 13;
+  graph::GraphDatabase db = MakeCancerScreen("MOLT-4", options);
+  const graph::Graph sb = MetalloidMotif(kAntimony);
+  const graph::Graph bi = MetalloidMotif(kBismuth);
+  int sb_count = 0, bi_count = 0;
+  for (const graph::Graph& g : db.graphs()) {
+    sb_count += graph::IsSubgraphIsomorphic(sb, g);
+    bi_count += graph::IsSubgraphIsomorphic(bi, g);
+  }
+  // Rare but present: global frequency should land below ~1.5%.
+  EXPECT_GT(sb_count, 0);
+  EXPECT_GT(bi_count, 0);
+  EXPECT_LT(sb_count / 800.0, 0.015);
+  EXPECT_LT(bi_count / 800.0, 0.015);
+}
+
+TEST(DatasetsTest, SignatureMotifsDifferAcrossScreens) {
+  std::set<std::string> canonicals;
+  for (const std::string& name : CancerScreenNames()) {
+    graph::Graph sig = SignatureMotif(name);
+    EXPECT_TRUE(sig.IsConnected()) << name;
+  }
+  // UACC-257's signature is the phosphonium core.
+  EXPECT_TRUE(graph::AreIsomorphic(SignatureMotif("UACC-257"),
+                                   PhosphoniumMotif()));
+  EXPECT_TRUE(
+      graph::AreIsomorphic(SignatureMotif("AIDS"), AztCoreMotif()));
+}
+
+}  // namespace
+}  // namespace graphsig::data

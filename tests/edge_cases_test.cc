@@ -1,0 +1,131 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "classify/sig_knn.h"
+#include "data/elements.h"
+#include "data/smiles.h"
+#include "features/feature_space.h"
+#include "fsm/dfs_code.h"
+#include "graph/graph.h"
+#include "util/status.h"
+
+namespace graphsig {
+namespace {
+
+TEST(StatusCodeTest, EveryCodeHasAName) {
+  using util::StatusCode;
+  for (StatusCode code :
+       {StatusCode::kOk, StatusCode::kInvalidArgument, StatusCode::kNotFound,
+        StatusCode::kOutOfRange, StatusCode::kFailedPrecondition,
+        StatusCode::kInternal, StatusCode::kIoError,
+        StatusCode::kParseError}) {
+    EXPECT_NE(std::string(util::StatusCodeName(code)), "Unknown");
+  }
+}
+
+TEST(GraphEdgeCaseTest, EdgeLabelBetweenOutOfRange) {
+  graph::Graph g;
+  g.AddVertex(0);
+  g.AddVertex(1);
+  g.AddEdge(0, 1, 7);
+  EXPECT_EQ(g.EdgeLabelBetween(-1, 0), -1);
+  EXPECT_EQ(g.EdgeLabelBetween(0, 9), -1);
+  EXPECT_EQ(g.EdgeLabelBetween(0, 1), 7);
+}
+
+TEST(GraphEdgeCaseTest, ToStringMentionsStructure) {
+  graph::Graph g(42);
+  g.set_tag(1);
+  g.AddVertex(3);
+  g.AddVertex(4);
+  g.AddEdge(0, 1, 5);
+  const std::string s = g.ToString();
+  EXPECT_NE(s.find("id=42"), std::string::npos);
+  EXPECT_NE(s.find("tag=1"), std::string::npos);
+  EXPECT_NE(s.find("v 0 3"), std::string::npos);
+  EXPECT_NE(s.find("e 0 1 5"), std::string::npos);
+}
+
+TEST(DfsEdgeLessTest, BackwardBeforeForwardAndWithinCategoryOrder) {
+  using fsm::DfsEdge;
+  const DfsEdge backward_a{3, 0, 1, 0, 1};
+  const DfsEdge backward_b{3, 1, 1, 0, 1};
+  const DfsEdge backward_b_heavier{3, 1, 1, 2, 1};
+  const DfsEdge forward_from_rm{3, 4, 1, 0, 1};
+  const DfsEdge forward_from_root{0, 4, 1, 0, 1};
+
+  // Backward precedes forward.
+  EXPECT_TRUE(fsm::DfsEdgeLess(backward_a, forward_from_rm));
+  EXPECT_FALSE(fsm::DfsEdgeLess(forward_from_rm, backward_a));
+  // Backward: smaller 'to' first, then edge label.
+  EXPECT_TRUE(fsm::DfsEdgeLess(backward_a, backward_b));
+  EXPECT_TRUE(fsm::DfsEdgeLess(backward_b, backward_b_heavier));
+  // Forward: larger 'from' first.
+  EXPECT_TRUE(fsm::DfsEdgeLess(forward_from_rm, forward_from_root));
+}
+
+TEST(FeatureSpaceEdgeCaseTest, AllEdgeTypesConfiguration) {
+  graph::GraphDatabase db;
+  graph::Graph g;
+  g.AddVertex(0);
+  g.AddVertex(1);
+  g.AddVertex(0);
+  g.AddEdge(0, 1, 0);
+  g.AddEdge(1, 2, 1);
+  db.Add(g);
+  auto fs = features::FeatureSpace::AllEdgeTypes(db);
+  EXPECT_EQ(fs.num_vertex_features(), 0u);
+  EXPECT_EQ(fs.num_edge_features(), 2u);
+  EXPECT_GE(fs.EdgeFeature(0, 1, 0), 0);
+  EXPECT_GE(fs.EdgeFeature(1, 0, 1), 0);
+  EXPECT_EQ(fs.EdgeFeature(0, 0, 0), -1);
+  EXPECT_EQ(fs.VertexFeature(0), -1);
+}
+
+TEST(MinDistEdgeCaseTest, EmptySetIsInfinity) {
+  features::FeatureVec x = {1, 2, 3};
+  EXPECT_TRUE(std::isinf(classify::MinDistToSubVector(x, {})));
+}
+
+TEST(MinDistEdgeCaseTest, ExactMatchIsZero) {
+  features::FeatureVec x = {1, 2, 3};
+  std::vector<features::FeatureVec> set = {{1, 2, 3}};
+  EXPECT_EQ(classify::MinDistToSubVector(x, set), 0.0);
+}
+
+TEST(SmilesEdgeCaseTest, SingleAtomForms) {
+  auto c = data::ParseSmiles("C");
+  ASSERT_TRUE(c.ok());
+  EXPECT_EQ(c.value().num_vertices(), 1);
+  EXPECT_EQ(data::WriteSmiles(c.value()), "C");
+
+  graph::Graph sb;
+  sb.AddVertex(data::kAntimony);
+  EXPECT_EQ(data::WriteSmiles(sb), "[Sb]");
+  auto back = data::ParseSmiles("[Sb]");
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(back.value().vertex_label(0), data::kAntimony);
+}
+
+TEST(SmilesEdgeCaseTest, WhitespaceTrimmedAndTrailingIgnored) {
+  auto r = data::ParseSmiles("  CCO  ");
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_EQ(r.value().num_vertices(), 3);
+}
+
+TEST(CanonicalEdgeCaseTest, TwoVertexSameLabelGraph) {
+  graph::Graph g;
+  g.AddVertex(5);
+  g.AddVertex(5);
+  g.AddEdge(0, 1, 2);
+  fsm::DfsCode code = fsm::BuildMinDfsCode(g);
+  ASSERT_EQ(code.size(), 1u);
+  EXPECT_EQ(code[0].from_label, 5);
+  EXPECT_EQ(code[0].to_label, 5);
+  EXPECT_EQ(code[0].edge_label, 2);
+  EXPECT_TRUE(fsm::IsMinimalDfsCode(code));
+}
+
+}  // namespace
+}  // namespace graphsig

@@ -1,0 +1,109 @@
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+
+#include "classify/oa_kernel.h"
+#include "core/graphsig.h"
+#include "data/datasets.h"
+#include "features/rwr.h"
+#include "util/parallel.h"
+
+namespace graphsig::util {
+namespace {
+
+TEST(ParallelForTest, VisitsEveryIndexExactlyOnce) {
+  for (int threads : {1, 2, 4, 7}) {
+    std::vector<std::atomic<int>> hits(257);
+    for (auto& h : hits) h = 0;
+    ParallelFor(threads, hits.size(), [&](size_t i) { ++hits[i]; });
+    for (size_t i = 0; i < hits.size(); ++i) {
+      EXPECT_EQ(hits[i].load(), 1) << "threads=" << threads << " i=" << i;
+    }
+  }
+}
+
+TEST(ParallelForTest, ZeroAndOneCountWork) {
+  int calls = 0;
+  ParallelFor(4, 0, [&](size_t) { ++calls; });
+  EXPECT_EQ(calls, 0);
+  ParallelFor(4, 1, [&](size_t i) {
+    EXPECT_EQ(i, 0u);
+    ++calls;
+  });
+  EXPECT_EQ(calls, 1);
+}
+
+TEST(ParallelForTest, MoreThreadsThanWork) {
+  std::atomic<int64_t> sum{0};
+  ParallelFor(16, 5, [&](size_t i) { sum += static_cast<int64_t>(i); });
+  EXPECT_EQ(sum.load(), 10);
+}
+
+TEST(ParallelForTest, HardwareThreadsPositive) {
+  EXPECT_GE(HardwareThreads(), 1);
+}
+
+TEST(ParallelFeaturizationTest, ThreadedMatchesSerial) {
+  data::DatasetOptions options;
+  options.size = 40;
+  options.seed = 77;
+  graph::GraphDatabase db = data::MakeAidsLike(options);
+  auto fs = features::FeatureSpace::ForChemicalDatabase(db, 5);
+  features::RwrConfig config;
+  auto serial = features::DatabaseToVectors(db, fs, config, 1);
+  auto threaded = features::DatabaseToVectors(db, fs, config, 4);
+  ASSERT_EQ(serial.size(), threaded.size());
+  for (size_t i = 0; i < serial.size(); ++i) {
+    EXPECT_EQ(serial[i].graph_index, threaded[i].graph_index);
+    EXPECT_EQ(serial[i].node, threaded[i].node);
+    EXPECT_EQ(serial[i].values, threaded[i].values);
+  }
+}
+
+TEST(ParallelFeaturizationTest, GraphSigResultsIdentical) {
+  data::DatasetOptions options;
+  options.size = 60;
+  options.seed = 78;
+  options.active_fraction = 0.2;
+  graph::GraphDatabase db = data::MakeAidsLike(options);
+  core::GraphSigConfig config;
+  config.cutoff_radius = 3;
+  config.min_freq_percent = 2.0;
+  core::GraphSig serial(config);
+  config.num_threads = 4;
+  core::GraphSig threaded(config);
+  auto a = serial.Mine(db);
+  auto b = threaded.Mine(db);
+  ASSERT_EQ(a.subgraphs.size(), b.subgraphs.size());
+  for (size_t i = 0; i < a.subgraphs.size(); ++i) {
+    EXPECT_EQ(a.subgraphs[i].subgraph, b.subgraphs[i].subgraph);
+    EXPECT_EQ(a.subgraphs[i].vector_pvalue, b.subgraphs[i].vector_pvalue);
+    EXPECT_EQ(a.subgraphs[i].db_frequency, b.subgraphs[i].db_frequency);
+  }
+}
+
+TEST(ParallelOaTest, ThreadedGramMatchesSerial) {
+  data::DatasetOptions options;
+  options.size = 40;
+  options.seed = 79;
+  options.active_fraction = 0.3;
+  graph::GraphDatabase db = data::MakeAidsLike(options);
+
+  classify::OaKernelConfig serial_config;
+  classify::OaKernelClassifier serial(serial_config);
+  serial.Train(db);
+
+  classify::OaKernelConfig threaded_config;
+  threaded_config.num_threads = 4;
+  classify::OaKernelClassifier threaded(threaded_config);
+  threaded.Train(db);
+
+  for (size_t i = 0; i < db.size(); i += 7) {
+    EXPECT_DOUBLE_EQ(serial.Score(db.graph(i)),
+                     threaded.Score(db.graph(i)));
+  }
+}
+
+}  // namespace
+}  // namespace graphsig::util

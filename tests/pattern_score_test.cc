@@ -1,0 +1,165 @@
+#include <gtest/gtest.h>
+
+#include <set>
+#include <sstream>
+
+#include "core/pattern_score.h"
+#include "core/report.h"
+#include "data/datasets.h"
+#include "data/generator.h"
+#include "data/elements.h"
+#include "data/motifs.h"
+#include "graph/dot.h"
+#include "stats/simulation.h"
+#include "util/rng.h"
+
+namespace graphsig {
+namespace {
+
+graph::GraphDatabase PlantedDb(const graph::Graph& motif, int total,
+                               int planted, uint64_t seed) {
+  util::Rng rng(seed);
+  data::MoleculeGenConfig gen;
+  gen.min_atoms = 8;
+  gen.max_atoms = 14;
+  graph::GraphDatabase db;
+  for (int i = 0; i < total; ++i) {
+    graph::Graph g = data::GenerateMolecule(gen, &rng);
+    g.set_id(i);
+    if (i < planted) data::PlantMotif(&g, motif, &rng);
+    db.Add(std::move(g));
+  }
+  return db;
+}
+
+TEST(PatternScoreTest, PlantedMotifIsSignificant) {
+  const graph::Graph motif = data::AztCoreMotif();
+  graph::GraphDatabase db = PlantedDb(motif, 80, 12, 661);
+  core::GraphSigConfig config;
+  core::PatternScore score = core::ScorePattern(db, motif, config);
+  ASSERT_TRUE(score.found);
+  EXPECT_EQ(score.frequency, 12);
+  EXPECT_LT(score.p_value, 0.01);
+}
+
+TEST(PatternScoreTest, UbiquitousBenzeneIsNotSignificant) {
+  // Plant benzene in 70% of molecules: frequent, fully expected.
+  const graph::Graph benzene = data::BenzeneMotif();
+  graph::GraphDatabase db = PlantedDb(benzene, 100, 70, 662);
+  core::GraphSigConfig config;
+  core::PatternScore score = core::ScorePattern(db, benzene, config);
+  ASSERT_TRUE(score.found);
+  EXPECT_GE(score.frequency, 70);
+  const graph::Graph rare = data::MetalloidMotif(data::kAntimony);
+  graph::GraphDatabase db2 = PlantedDb(rare, 100, 6, 663);
+  core::PatternScore rare_score = core::ScorePattern(db2, rare, config);
+  ASSERT_TRUE(rare_score.found);
+  // The rare planted core must be far more significant than benzene.
+  EXPECT_LT(rare_score.p_value, score.p_value);
+}
+
+TEST(PatternScoreTest, AbsentPatternNotFound) {
+  graph::GraphDatabase db = PlantedDb(data::BenzeneMotif(), 20, 5, 664);
+  core::GraphSigConfig config;
+  core::PatternScore score =
+      core::ScorePattern(db, data::MetalloidMotif(data::kBismuth), config);
+  EXPECT_FALSE(score.found);
+  EXPECT_EQ(score.frequency, 0);
+}
+
+TEST(RandomizeTest, PreservesDegreesAndLabels) {
+  util::Rng rng(665);
+  data::MoleculeGenConfig gen;
+  for (int trial = 0; trial < 10; ++trial) {
+    graph::Graph g = data::GenerateMolecule(gen, &rng);
+    graph::Graph r = stats::RandomizeGraph(g, &rng);
+    ASSERT_EQ(r.num_vertices(), g.num_vertices());
+    ASSERT_EQ(r.num_edges(), g.num_edges());
+    EXPECT_EQ(r.vertex_labels(), g.vertex_labels());
+    for (graph::VertexId v = 0; v < g.num_vertices(); ++v) {
+      EXPECT_EQ(r.degree(v), g.degree(v)) << "trial " << trial;
+    }
+    // Edge-label multiset preserved.
+    std::multiset<graph::Label> before, after;
+    for (const auto& e : g.edges()) before.insert(e.label);
+    for (const auto& e : r.edges()) after.insert(e.label);
+    EXPECT_EQ(before, after);
+  }
+}
+
+TEST(RandomizeTest, ActuallyRewires) {
+  util::Rng rng(666);
+  data::MoleculeGenConfig gen;
+  gen.min_atoms = 20;
+  gen.max_atoms = 30;
+  int changed = 0;
+  for (int trial = 0; trial < 10; ++trial) {
+    graph::Graph g = data::GenerateMolecule(gen, &rng);
+    graph::Graph r = stats::RandomizeGraph(g, &rng);
+    if (!(r == g)) ++changed;
+  }
+  EXPECT_GE(changed, 8);  // swaps should nearly always land
+}
+
+TEST(SimulationTest, RarePlantedPatternGetsSmallPValue) {
+  const graph::Graph motif = data::MetalloidMotif(data::kAntimony);
+  graph::GraphDatabase db = PlantedDb(motif, 40, 6, 667);
+  auto sim = stats::SimulatePatternPValue(db, motif, 19, 668);
+  EXPECT_EQ(sim.observed_support, 6);
+  // A 7-edge rare-atom core should essentially never survive rewiring.
+  EXPECT_LE(sim.p_value, 2.0 / 20.0);
+  // Resolution limit: can never report below 1/(N+1).
+  EXPECT_GE(sim.p_value, 1.0 / 20.0);
+}
+
+TEST(SimulationTest, SingleEdgePatternIsNotSignificant) {
+  // A single C-C edge survives any degree-preserving rewiring with
+  // probability ~1, so its simulated p-value is ~1.
+  graph::GraphDatabase db = PlantedDb(data::BenzeneMotif(), 30, 20, 669);
+  graph::Graph edge;
+  edge.AddVertex(data::kCarbon);
+  edge.AddVertex(data::kCarbon);
+  edge.AddEdge(0, 1, data::kSingleBond);
+  auto sim = stats::SimulatePatternPValue(db, edge, 9, 670);
+  EXPECT_GT(sim.p_value, 0.8);
+}
+
+TEST(DotTest, RendersNodesAndEdges) {
+  graph::Graph g = data::BenzeneMotif();
+  std::string dot = graph::ToDot(g, "benzene", data::AtomSymbol,
+                                 data::BondSymbol);
+  EXPECT_NE(dot.find("graph benzene {"), std::string::npos);
+  EXPECT_NE(dot.find("n0 [label=\"C\"]"), std::string::npos);
+  EXPECT_NE(dot.find("n0 -- n1 [label=\":\"]"), std::string::npos);
+  EXPECT_NE(dot.find("}"), std::string::npos);
+  // Default numeric labels.
+  std::string numeric = graph::ToDot(g);
+  EXPECT_NE(numeric.find("[label=\"0\"]"), std::string::npos);
+}
+
+TEST(ReportTest, HumanAndCsvOutputs) {
+  const graph::Graph motif = data::FdtCoreMotif();
+  graph::GraphDatabase db = PlantedDb(motif, 60, 12, 671);
+  core::GraphSigConfig config;
+  config.cutoff_radius = 4;
+  config.min_freq_percent = 2.0;
+  core::GraphSig miner(config);
+  core::GraphSigResult result = miner.Mine(db);
+  ASSERT_FALSE(result.subgraphs.empty());
+
+  std::ostringstream report;
+  core::WriteReport(result, db.size(), report, 5);
+  EXPECT_NE(report.str().find("GraphSig result"), std::string::npos);
+  EXPECT_NE(report.str().find("p="), std::string::npos);
+
+  std::ostringstream csv;
+  core::WriteCsv(result, csv);
+  // Header + one line per subgraph.
+  size_t lines = 0;
+  for (char c : csv.str()) lines += (c == '\n');
+  EXPECT_EQ(lines, result.subgraphs.size() + 1);
+  EXPECT_NE(csv.str().find("rank,p_value"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace graphsig

@@ -1,0 +1,118 @@
+#ifndef GRAPHSIG_TOOLS_TOOL_UTIL_H_
+#define GRAPHSIG_TOOLS_TOOL_UTIL_H_
+
+// Shared flag parsing and dataset I/O for the command-line tools.
+
+#include <cstdio>
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <string>
+
+#include "data/molfile.h"
+#include "data/smiles.h"
+#include "graph/io.h"
+#include "util/status.h"
+#include "util/strings.h"
+
+namespace graphsig::tools {
+
+// "--name=value" flags plus bare "--name" booleans ("true").
+class Flags {
+ public:
+  Flags(int argc, char** argv) {
+    for (int i = 1; i < argc; ++i) {
+      std::string_view arg = argv[i];
+      if (!util::StartsWith(arg, "--")) continue;
+      arg.remove_prefix(2);
+      const size_t eq = arg.find('=');
+      if (eq == std::string_view::npos) {
+        values_[std::string(arg)] = "true";
+      } else {
+        values_[std::string(arg.substr(0, eq))] =
+            std::string(arg.substr(eq + 1));
+      }
+    }
+  }
+
+  std::string GetString(const std::string& name,
+                        const std::string& fallback) const {
+    auto it = values_.find(name);
+    return it == values_.end() ? fallback : it->second;
+  }
+
+  int64_t GetInt(const std::string& name, int64_t fallback) const {
+    auto it = values_.find(name);
+    if (it == values_.end()) return fallback;
+    auto v = util::ParseInt(it->second);
+    return v.ok() ? v.value() : fallback;
+  }
+
+  double GetDouble(const std::string& name, double fallback) const {
+    auto it = values_.find(name);
+    if (it == values_.end()) return fallback;
+    auto v = util::ParseDouble(it->second);
+    return v.ok() ? v.value() : fallback;
+  }
+
+  bool GetBool(const std::string& name) const {
+    return GetString(name, "") == "true";
+  }
+
+ private:
+  std::map<std::string, std::string> values_;
+};
+
+inline util::Result<std::string> ReadFile(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return util::Status::IoError("cannot open: " + path);
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return buffer.str();
+}
+
+inline util::Status WriteFile(const std::string& path,
+                              const std::string& content) {
+  std::ofstream out(path);
+  if (!out) return util::Status::IoError("cannot open: " + path);
+  out << content;
+  if (!out) return util::Status::IoError("write failed: " + path);
+  return util::Status::Ok();
+}
+
+// Loads a graph database in "smiles", "sdf", or "gspan" format.
+inline util::Result<graph::GraphDatabase> LoadDatabase(
+    const std::string& path, const std::string& format) {
+  auto text = ReadFile(path);
+  if (!text.ok()) return text.status();
+  if (format == "smiles") return data::ParseSmilesLines(text.value());
+  if (format == "sdf") return data::ParseSdf(text.value());
+  if (format == "gspan") {
+    return graph::ParseGSpanText(text.value(), nullptr, nullptr);
+  }
+  return util::Status::InvalidArgument("unknown format: " + format +
+                                       " (want smiles|sdf|gspan)");
+}
+
+// Serializes a database in one of the same formats.
+inline util::Result<std::string> SerializeDatabase(
+    const graph::GraphDatabase& db, const std::string& format) {
+  if (format == "smiles") return data::WriteSmilesLines(db);
+  if (format == "sdf") return data::WriteSdf(db);
+  if (format == "gspan") {
+    std::ostringstream os;
+    graph::WriteGSpanText(db, os);
+    return os.str();
+  }
+  return util::Status::InvalidArgument("unknown format: " + format +
+                                       " (want smiles|sdf|gspan)");
+}
+
+[[noreturn]] inline void Fail(const util::Status& status) {
+  std::fprintf(stderr, "error: %s\n", status.ToString().c_str());
+  std::exit(1);
+}
+
+}  // namespace graphsig::tools
+
+#endif  // GRAPHSIG_TOOLS_TOOL_UTIL_H_
