@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig11_time_vs_dbsize.dir/bench_fig11_time_vs_dbsize.cc.o"
+  "CMakeFiles/bench_fig11_time_vs_dbsize.dir/bench_fig11_time_vs_dbsize.cc.o.d"
+  "bench_fig11_time_vs_dbsize"
+  "bench_fig11_time_vs_dbsize.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig11_time_vs_dbsize.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig12_time_vs_pvalue.dir/bench_fig12_time_vs_pvalue.cc.o"
+  "CMakeFiles/bench_fig12_time_vs_pvalue.dir/bench_fig12_time_vs_pvalue.cc.o.d"
+  "bench_fig12_time_vs_pvalue"
+  "bench_fig12_time_vs_pvalue.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig12_time_vs_pvalue.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

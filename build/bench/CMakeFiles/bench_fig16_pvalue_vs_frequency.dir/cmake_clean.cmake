@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig16_pvalue_vs_frequency.dir/bench_fig16_pvalue_vs_frequency.cc.o"
+  "CMakeFiles/bench_fig16_pvalue_vs_frequency.dir/bench_fig16_pvalue_vs_frequency.cc.o.d"
+  "bench_fig16_pvalue_vs_frequency"
+  "bench_fig16_pvalue_vs_frequency.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig16_pvalue_vs_frequency.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/activity_classifier.dir/activity_classifier.cpp.o"
+  "CMakeFiles/activity_classifier.dir/activity_classifier.cpp.o.d"
+  "activity_classifier"
+  "activity_classifier.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/activity_classifier.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/feature_explorer.dir/feature_explorer.cpp.o"
+  "CMakeFiles/feature_explorer.dir/feature_explorer.cpp.o.d"
+  "feature_explorer"
+  "feature_explorer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/feature_explorer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,59 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/classify/auc.cc" "src/CMakeFiles/graphsig.dir/classify/auc.cc.o" "gcc" "src/CMakeFiles/graphsig.dir/classify/auc.cc.o.d"
+  "/root/repo/src/classify/evaluation.cc" "src/CMakeFiles/graphsig.dir/classify/evaluation.cc.o" "gcc" "src/CMakeFiles/graphsig.dir/classify/evaluation.cc.o.d"
+  "/root/repo/src/classify/frequent_baseline.cc" "src/CMakeFiles/graphsig.dir/classify/frequent_baseline.cc.o" "gcc" "src/CMakeFiles/graphsig.dir/classify/frequent_baseline.cc.o.d"
+  "/root/repo/src/classify/hungarian.cc" "src/CMakeFiles/graphsig.dir/classify/hungarian.cc.o" "gcc" "src/CMakeFiles/graphsig.dir/classify/hungarian.cc.o.d"
+  "/root/repo/src/classify/leap.cc" "src/CMakeFiles/graphsig.dir/classify/leap.cc.o" "gcc" "src/CMakeFiles/graphsig.dir/classify/leap.cc.o.d"
+  "/root/repo/src/classify/oa_kernel.cc" "src/CMakeFiles/graphsig.dir/classify/oa_kernel.cc.o" "gcc" "src/CMakeFiles/graphsig.dir/classify/oa_kernel.cc.o.d"
+  "/root/repo/src/classify/sig_knn.cc" "src/CMakeFiles/graphsig.dir/classify/sig_knn.cc.o" "gcc" "src/CMakeFiles/graphsig.dir/classify/sig_knn.cc.o.d"
+  "/root/repo/src/classify/svm.cc" "src/CMakeFiles/graphsig.dir/classify/svm.cc.o" "gcc" "src/CMakeFiles/graphsig.dir/classify/svm.cc.o.d"
+  "/root/repo/src/core/graphsig.cc" "src/CMakeFiles/graphsig.dir/core/graphsig.cc.o" "gcc" "src/CMakeFiles/graphsig.dir/core/graphsig.cc.o.d"
+  "/root/repo/src/core/pattern_score.cc" "src/CMakeFiles/graphsig.dir/core/pattern_score.cc.o" "gcc" "src/CMakeFiles/graphsig.dir/core/pattern_score.cc.o.d"
+  "/root/repo/src/core/report.cc" "src/CMakeFiles/graphsig.dir/core/report.cc.o" "gcc" "src/CMakeFiles/graphsig.dir/core/report.cc.o.d"
+  "/root/repo/src/data/datasets.cc" "src/CMakeFiles/graphsig.dir/data/datasets.cc.o" "gcc" "src/CMakeFiles/graphsig.dir/data/datasets.cc.o.d"
+  "/root/repo/src/data/elements.cc" "src/CMakeFiles/graphsig.dir/data/elements.cc.o" "gcc" "src/CMakeFiles/graphsig.dir/data/elements.cc.o.d"
+  "/root/repo/src/data/generator.cc" "src/CMakeFiles/graphsig.dir/data/generator.cc.o" "gcc" "src/CMakeFiles/graphsig.dir/data/generator.cc.o.d"
+  "/root/repo/src/data/molfile.cc" "src/CMakeFiles/graphsig.dir/data/molfile.cc.o" "gcc" "src/CMakeFiles/graphsig.dir/data/molfile.cc.o.d"
+  "/root/repo/src/data/motifs.cc" "src/CMakeFiles/graphsig.dir/data/motifs.cc.o" "gcc" "src/CMakeFiles/graphsig.dir/data/motifs.cc.o.d"
+  "/root/repo/src/data/smiles.cc" "src/CMakeFiles/graphsig.dir/data/smiles.cc.o" "gcc" "src/CMakeFiles/graphsig.dir/data/smiles.cc.o.d"
+  "/root/repo/src/features/feature_space.cc" "src/CMakeFiles/graphsig.dir/features/feature_space.cc.o" "gcc" "src/CMakeFiles/graphsig.dir/features/feature_space.cc.o.d"
+  "/root/repo/src/features/feature_vector.cc" "src/CMakeFiles/graphsig.dir/features/feature_vector.cc.o" "gcc" "src/CMakeFiles/graphsig.dir/features/feature_vector.cc.o.d"
+  "/root/repo/src/features/rwr.cc" "src/CMakeFiles/graphsig.dir/features/rwr.cc.o" "gcc" "src/CMakeFiles/graphsig.dir/features/rwr.cc.o.d"
+  "/root/repo/src/features/selection.cc" "src/CMakeFiles/graphsig.dir/features/selection.cc.o" "gcc" "src/CMakeFiles/graphsig.dir/features/selection.cc.o.d"
+  "/root/repo/src/fsm/dfs_code.cc" "src/CMakeFiles/graphsig.dir/fsm/dfs_code.cc.o" "gcc" "src/CMakeFiles/graphsig.dir/fsm/dfs_code.cc.o.d"
+  "/root/repo/src/fsm/fsg_apriori.cc" "src/CMakeFiles/graphsig.dir/fsm/fsg_apriori.cc.o" "gcc" "src/CMakeFiles/graphsig.dir/fsm/fsg_apriori.cc.o.d"
+  "/root/repo/src/fsm/gspan.cc" "src/CMakeFiles/graphsig.dir/fsm/gspan.cc.o" "gcc" "src/CMakeFiles/graphsig.dir/fsm/gspan.cc.o.d"
+  "/root/repo/src/fsm/maximal.cc" "src/CMakeFiles/graphsig.dir/fsm/maximal.cc.o" "gcc" "src/CMakeFiles/graphsig.dir/fsm/maximal.cc.o.d"
+  "/root/repo/src/fvmine/fvmine.cc" "src/CMakeFiles/graphsig.dir/fvmine/fvmine.cc.o" "gcc" "src/CMakeFiles/graphsig.dir/fvmine/fvmine.cc.o.d"
+  "/root/repo/src/graph/dot.cc" "src/CMakeFiles/graphsig.dir/graph/dot.cc.o" "gcc" "src/CMakeFiles/graphsig.dir/graph/dot.cc.o.d"
+  "/root/repo/src/graph/graph.cc" "src/CMakeFiles/graphsig.dir/graph/graph.cc.o" "gcc" "src/CMakeFiles/graphsig.dir/graph/graph.cc.o.d"
+  "/root/repo/src/graph/graph_database.cc" "src/CMakeFiles/graphsig.dir/graph/graph_database.cc.o" "gcc" "src/CMakeFiles/graphsig.dir/graph/graph_database.cc.o.d"
+  "/root/repo/src/graph/io.cc" "src/CMakeFiles/graphsig.dir/graph/io.cc.o" "gcc" "src/CMakeFiles/graphsig.dir/graph/io.cc.o.d"
+  "/root/repo/src/graph/isomorphism.cc" "src/CMakeFiles/graphsig.dir/graph/isomorphism.cc.o" "gcc" "src/CMakeFiles/graphsig.dir/graph/isomorphism.cc.o.d"
+  "/root/repo/src/graph/statistics.cc" "src/CMakeFiles/graphsig.dir/graph/statistics.cc.o" "gcc" "src/CMakeFiles/graphsig.dir/graph/statistics.cc.o.d"
+  "/root/repo/src/stats/distributions.cc" "src/CMakeFiles/graphsig.dir/stats/distributions.cc.o" "gcc" "src/CMakeFiles/graphsig.dir/stats/distributions.cc.o.d"
+  "/root/repo/src/stats/pvalue_model.cc" "src/CMakeFiles/graphsig.dir/stats/pvalue_model.cc.o" "gcc" "src/CMakeFiles/graphsig.dir/stats/pvalue_model.cc.o.d"
+  "/root/repo/src/stats/simulation.cc" "src/CMakeFiles/graphsig.dir/stats/simulation.cc.o" "gcc" "src/CMakeFiles/graphsig.dir/stats/simulation.cc.o.d"
+  "/root/repo/src/util/logging.cc" "src/CMakeFiles/graphsig.dir/util/logging.cc.o" "gcc" "src/CMakeFiles/graphsig.dir/util/logging.cc.o.d"
+  "/root/repo/src/util/parallel.cc" "src/CMakeFiles/graphsig.dir/util/parallel.cc.o" "gcc" "src/CMakeFiles/graphsig.dir/util/parallel.cc.o.d"
+  "/root/repo/src/util/rng.cc" "src/CMakeFiles/graphsig.dir/util/rng.cc.o" "gcc" "src/CMakeFiles/graphsig.dir/util/rng.cc.o.d"
+  "/root/repo/src/util/status.cc" "src/CMakeFiles/graphsig.dir/util/status.cc.o" "gcc" "src/CMakeFiles/graphsig.dir/util/status.cc.o.d"
+  "/root/repo/src/util/strings.cc" "src/CMakeFiles/graphsig.dir/util/strings.cc.o" "gcc" "src/CMakeFiles/graphsig.dir/util/strings.cc.o.d"
+  "/root/repo/src/util/table.cc" "src/CMakeFiles/graphsig.dir/util/table.cc.o" "gcc" "src/CMakeFiles/graphsig.dir/util/table.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

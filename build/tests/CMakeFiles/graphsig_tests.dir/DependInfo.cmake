@@ -1,0 +1,38 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/chem_io_test.cc" "tests/CMakeFiles/graphsig_tests.dir/chem_io_test.cc.o" "gcc" "tests/CMakeFiles/graphsig_tests.dir/chem_io_test.cc.o.d"
+  "/root/repo/tests/classify_test.cc" "tests/CMakeFiles/graphsig_tests.dir/classify_test.cc.o" "gcc" "tests/CMakeFiles/graphsig_tests.dir/classify_test.cc.o.d"
+  "/root/repo/tests/closed_and_baseline_test.cc" "tests/CMakeFiles/graphsig_tests.dir/closed_and_baseline_test.cc.o" "gcc" "tests/CMakeFiles/graphsig_tests.dir/closed_and_baseline_test.cc.o.d"
+  "/root/repo/tests/cross_module_property_test.cc" "tests/CMakeFiles/graphsig_tests.dir/cross_module_property_test.cc.o" "gcc" "tests/CMakeFiles/graphsig_tests.dir/cross_module_property_test.cc.o.d"
+  "/root/repo/tests/data_test.cc" "tests/CMakeFiles/graphsig_tests.dir/data_test.cc.o" "gcc" "tests/CMakeFiles/graphsig_tests.dir/data_test.cc.o.d"
+  "/root/repo/tests/dfs_code_test.cc" "tests/CMakeFiles/graphsig_tests.dir/dfs_code_test.cc.o" "gcc" "tests/CMakeFiles/graphsig_tests.dir/dfs_code_test.cc.o.d"
+  "/root/repo/tests/edge_cases_test.cc" "tests/CMakeFiles/graphsig_tests.dir/edge_cases_test.cc.o" "gcc" "tests/CMakeFiles/graphsig_tests.dir/edge_cases_test.cc.o.d"
+  "/root/repo/tests/features_test.cc" "tests/CMakeFiles/graphsig_tests.dir/features_test.cc.o" "gcc" "tests/CMakeFiles/graphsig_tests.dir/features_test.cc.o.d"
+  "/root/repo/tests/fsm_test.cc" "tests/CMakeFiles/graphsig_tests.dir/fsm_test.cc.o" "gcc" "tests/CMakeFiles/graphsig_tests.dir/fsm_test.cc.o.d"
+  "/root/repo/tests/fvmine_test.cc" "tests/CMakeFiles/graphsig_tests.dir/fvmine_test.cc.o" "gcc" "tests/CMakeFiles/graphsig_tests.dir/fvmine_test.cc.o.d"
+  "/root/repo/tests/graph_test.cc" "tests/CMakeFiles/graphsig_tests.dir/graph_test.cc.o" "gcc" "tests/CMakeFiles/graphsig_tests.dir/graph_test.cc.o.d"
+  "/root/repo/tests/graphsig_core_test.cc" "tests/CMakeFiles/graphsig_tests.dir/graphsig_core_test.cc.o" "gcc" "tests/CMakeFiles/graphsig_tests.dir/graphsig_core_test.cc.o.d"
+  "/root/repo/tests/isomorphism_test.cc" "tests/CMakeFiles/graphsig_tests.dir/isomorphism_test.cc.o" "gcc" "tests/CMakeFiles/graphsig_tests.dir/isomorphism_test.cc.o.d"
+  "/root/repo/tests/parallel_test.cc" "tests/CMakeFiles/graphsig_tests.dir/parallel_test.cc.o" "gcc" "tests/CMakeFiles/graphsig_tests.dir/parallel_test.cc.o.d"
+  "/root/repo/tests/pattern_score_test.cc" "tests/CMakeFiles/graphsig_tests.dir/pattern_score_test.cc.o" "gcc" "tests/CMakeFiles/graphsig_tests.dir/pattern_score_test.cc.o.d"
+  "/root/repo/tests/statistics_and_golden_test.cc" "tests/CMakeFiles/graphsig_tests.dir/statistics_and_golden_test.cc.o" "gcc" "tests/CMakeFiles/graphsig_tests.dir/statistics_and_golden_test.cc.o.d"
+  "/root/repo/tests/stats_test.cc" "tests/CMakeFiles/graphsig_tests.dir/stats_test.cc.o" "gcc" "tests/CMakeFiles/graphsig_tests.dir/stats_test.cc.o.d"
+  "/root/repo/tests/util_runtime_test.cc" "tests/CMakeFiles/graphsig_tests.dir/util_runtime_test.cc.o" "gcc" "tests/CMakeFiles/graphsig_tests.dir/util_runtime_test.cc.o.d"
+  "/root/repo/tests/util_test.cc" "tests/CMakeFiles/graphsig_tests.dir/util_test.cc.o" "gcc" "tests/CMakeFiles/graphsig_tests.dir/util_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/graphsig.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

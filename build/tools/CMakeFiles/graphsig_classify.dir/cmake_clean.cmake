@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/graphsig_classify.dir/graphsig_classify.cc.o"
+  "CMakeFiles/graphsig_classify.dir/graphsig_classify.cc.o.d"
+  "graphsig_classify"
+  "graphsig_classify.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/graphsig_classify.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

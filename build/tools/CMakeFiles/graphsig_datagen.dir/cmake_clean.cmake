@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/graphsig_datagen.dir/graphsig_datagen.cc.o"
+  "CMakeFiles/graphsig_datagen.dir/graphsig_datagen.cc.o.d"
+  "graphsig_datagen"
+  "graphsig_datagen.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/graphsig_datagen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

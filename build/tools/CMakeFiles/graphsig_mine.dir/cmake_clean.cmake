@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/graphsig_mine.dir/graphsig_mine.cc.o"
+  "CMakeFiles/graphsig_mine.dir/graphsig_mine.cc.o.d"
+  "graphsig_mine"
+  "graphsig_mine.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/graphsig_mine.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tools
+# Build directory: /root/repo/build/tools
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(tool_datagen "/root/repo/build/tools/graphsig_datagen" "--screen=MCF-7" "--size=60" "--active-fraction=0.2" "--output=tool_smoke.smi")
+set_tests_properties(tool_datagen PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;12;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(tool_mine "/root/repo/build/tools/graphsig_mine" "--input=tool_smoke.smi" "--active-only" "--radius=3" "--min-freq=3" "--top=3" "--csv=tool_smoke.csv")
+set_tests_properties(tool_mine PROPERTIES  DEPENDS "tool_datagen" _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;15;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(tool_classify "/root/repo/build/tools/graphsig_classify" "--train=tool_smoke.smi" "--test=tool_smoke.smi" "--min-freq=3")
+set_tests_properties(tool_classify PROPERTIES  DEPENDS "tool_datagen" _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;18;add_test;/root/repo/tools/CMakeLists.txt;0;")
