@@ -54,6 +54,32 @@ void GraphSigClassifier::Train(const graph::GraphDatabase& training) {
   negative_index_ = BuildIndex(negative_);
 }
 
+SigKnnModel GraphSigClassifier::ExportModel() const {
+  GS_CHECK_GT(space_.size(), 0u);  // must be trained
+  SigKnnModel model;
+  model.k = config_.k;
+  model.delta = config_.delta;
+  model.rwr = config_.mining.rwr;
+  model.space = space_;
+  model.positive = positive_;
+  model.negative = negative_;
+  return model;
+}
+
+GraphSigClassifier GraphSigClassifier::FromModel(const SigKnnModel& model) {
+  SigKnnConfig config;
+  config.k = model.k;
+  config.delta = model.delta;
+  config.mining.rwr = model.rwr;
+  GraphSigClassifier classifier(config);
+  classifier.space_ = model.space;
+  classifier.positive_ = model.positive;
+  classifier.negative_ = model.negative;
+  classifier.positive_index_ = BuildIndex(model.positive);
+  classifier.negative_index_ = BuildIndex(model.negative);
+  return classifier;
+}
+
 GraphSigClassifier::VectorIndex GraphSigClassifier::BuildIndex(
     std::vector<features::FeatureVec> vectors) {
   std::sort(vectors.begin(), vectors.end());

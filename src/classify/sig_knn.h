@@ -24,6 +24,24 @@ struct SigKnnConfig {
   double delta = 1e-3;  // the small additive before inverting distances
 };
 
+// The trained state of GraphSigClassifier, detached from the class so it
+// can be serialized into a model artifact (src/model/) and rebuilt in a
+// query-serving process without re-mining. Everything Score() depends on
+// is here: the k-NN parameters, the RWR featurization config that query
+// vectors must be computed with, the shared feature space, and the
+// significant sub-feature vectors of both classes.
+struct SigKnnModel {
+  int32_t k = 9;
+  double delta = 1e-3;
+  features::RwrConfig rwr;
+  features::FeatureSpace space;
+  std::vector<features::FeatureVec> positive;
+  std::vector<features::FeatureVec> negative;
+
+  // A model with no feature space cannot score anything.
+  bool empty() const { return space.size() == 0; }
+};
+
 // The classifier of Section V (Algorithm 3): mine significant
 // sub-feature vectors from the positive and the negative training
 // graphs, then classify a query by a distance-weighted vote of the k
@@ -36,6 +54,15 @@ class GraphSigClassifier : public GraphClassifier {
   double Score(const graph::Graph& query) const override;
   std::string name() const override { return "GraphSig"; }
 
+  // Snapshot of the trained state for serialization. Requires a trained
+  // (or imported) classifier.
+  SigKnnModel ExportModel() const;
+  // Rebuilds a ready-to-score classifier from a snapshot; the scan
+  // indexes are reconstructed, so FromModel(ExportModel()) scores
+  // identically to the original.
+  static GraphSigClassifier FromModel(const SigKnnModel& model);
+
+  const features::FeatureSpace& feature_space() const { return space_; }
   const std::vector<features::FeatureVec>& positive_vectors() const {
     return positive_;
   }

@@ -69,6 +69,16 @@ class FeatureSpace {
                           const graph::LabelDictionary* vdict = nullptr,
                           const graph::LabelDictionary* edict = nullptr) const;
 
+  // Features in slot order — replaying these through AddVertexFeature /
+  // AddEdgeFeature reconstructs an equal space (the serialization
+  // contract of model::EncodeArtifact).
+  const std::vector<graph::Label>& vertex_features() const {
+    return vertex_order_;
+  }
+  const std::vector<EdgeType>& edge_features() const { return edge_order_; }
+
+  friend bool operator==(const FeatureSpace&, const FeatureSpace&) = default;
+
  private:
   std::map<graph::Label, int> vertex_slots_;
   std::map<std::tuple<graph::Label, graph::Label, graph::Label>, int>

@@ -1,0 +1,113 @@
+#include "graph/serialize.h"
+
+#include "util/strings.h"
+
+namespace graphsig::graph {
+namespace {
+
+// Per-element lower bounds used to reject absurd counts before looping:
+// a count can never exceed remaining_bytes / min_encoded_size, so a
+// corrupted length field fails fast instead of driving a huge loop.
+constexpr size_t kMinVertexBytes = 4;   // one i32 label
+constexpr size_t kMinEdgeBytes = 12;    // u, v, label
+constexpr size_t kMinGraphBytes = 20;   // id + tag + two counts
+
+util::Status CountError(const char* what, uint64_t count,
+                        size_t remaining) {
+  return util::Status::ParseError(util::StrPrintf(
+      "implausible %s count %llu for %zu remaining bytes", what,
+      static_cast<unsigned long long>(count), remaining));
+}
+
+}  // namespace
+
+void EncodeGraph(const Graph& g, util::ByteWriter* writer) {
+  writer->WriteI64(g.id());
+  writer->WriteI32(g.tag());
+  writer->WriteU32(static_cast<uint32_t>(g.num_vertices()));
+  for (Label label : g.vertex_labels()) writer->WriteI32(label);
+  writer->WriteU32(static_cast<uint32_t>(g.num_edges()));
+  for (const EdgeRecord& e : g.edges()) {
+    writer->WriteI32(e.u);
+    writer->WriteI32(e.v);
+    writer->WriteI32(e.label);
+  }
+}
+
+util::Result<Graph> DecodeGraph(util::ByteReader* reader) {
+  int64_t id;
+  int32_t tag;
+  uint32_t num_vertices, num_edges;
+  util::Status s = reader->ReadI64(&id);
+  if (!s.ok()) return s;
+  s = reader->ReadI32(&tag);
+  if (!s.ok()) return s;
+  s = reader->ReadU32(&num_vertices);
+  if (!s.ok()) return s;
+  if (num_vertices > reader->remaining() / kMinVertexBytes) {
+    return CountError("vertex", num_vertices, reader->remaining());
+  }
+  Graph g(id);
+  g.set_tag(tag);
+  for (uint32_t i = 0; i < num_vertices; ++i) {
+    int32_t label;
+    s = reader->ReadI32(&label);
+    if (!s.ok()) return s;
+    g.AddVertex(label);
+  }
+  s = reader->ReadU32(&num_edges);
+  if (!s.ok()) return s;
+  if (num_edges > reader->remaining() / kMinEdgeBytes) {
+    return CountError("edge", num_edges, reader->remaining());
+  }
+  for (uint32_t i = 0; i < num_edges; ++i) {
+    int32_t u, v, label;
+    s = reader->ReadI32(&u);
+    if (!s.ok()) return s;
+    s = reader->ReadI32(&v);
+    if (!s.ok()) return s;
+    s = reader->ReadI32(&label);
+    if (!s.ok()) return s;
+    // Validate here: Graph::AddEdge treats violations as programmer
+    // errors and aborts, but in a decoder they are data conditions.
+    if (u < 0 || v < 0 || u >= g.num_vertices() || v >= g.num_vertices()) {
+      return util::Status::ParseError(util::StrPrintf(
+          "edge (%d, %d) out of range for %d vertices", u, v,
+          g.num_vertices()));
+    }
+    if (u == v) {
+      return util::Status::ParseError(
+          util::StrPrintf("self-loop on vertex %d", u));
+    }
+    if (g.HasEdge(u, v)) {
+      return util::Status::ParseError(
+          util::StrPrintf("duplicate edge (%d, %d)", u, v));
+    }
+    g.AddEdge(u, v, label);
+  }
+  return g;
+}
+
+void EncodeDatabase(const GraphDatabase& db, util::ByteWriter* writer) {
+  writer->WriteU64(db.size());
+  for (const Graph& g : db.graphs()) EncodeGraph(g, writer);
+}
+
+util::Result<GraphDatabase> DecodeDatabase(util::ByteReader* reader) {
+  uint64_t count;
+  util::Status s = reader->ReadU64(&count);
+  if (!s.ok()) return s;
+  if (count > reader->remaining() / kMinGraphBytes) {
+    return CountError("graph", count, reader->remaining());
+  }
+  GraphDatabase db;
+  db.Reserve(static_cast<size_t>(count));
+  for (uint64_t i = 0; i < count; ++i) {
+    auto g = DecodeGraph(reader);
+    if (!g.ok()) return g.status();
+    db.Add(std::move(g).value());
+  }
+  return db;
+}
+
+}  // namespace graphsig::graph

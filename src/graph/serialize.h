@@ -1,0 +1,36 @@
+#ifndef GRAPHSIG_GRAPH_SERIALIZE_H_
+#define GRAPHSIG_GRAPH_SERIALIZE_H_
+
+// Binary codec for Graph and GraphDatabase, used by the model-artifact
+// layer (src/model/).
+//
+// Canonical serialization order: vertices are written in vertex-id order
+// and edges in edge-index (construction) order with endpoints exactly as
+// stored, so encoding is a pure function of the in-memory value —
+// encoding the same graph twice yields identical bytes, and a decoded
+// graph compares operator==-equal to its source (ids, tags, adjacency
+// construction order included). Decoding validates structure (endpoint
+// range, self-loops, duplicate edges) and returns util::Status on
+// malformed input rather than tripping the Graph invariant checks.
+
+#include "graph/graph.h"
+#include "graph/graph_database.h"
+#include "util/binary.h"
+#include "util/status.h"
+
+namespace graphsig::graph {
+
+// Appends `g` to `writer`.
+void EncodeGraph(const Graph& g, util::ByteWriter* writer);
+
+// Decodes one graph written by EncodeGraph.
+util::Result<Graph> DecodeGraph(util::ByteReader* reader);
+
+// Appends all graphs of `db` in database order.
+void EncodeDatabase(const GraphDatabase& db, util::ByteWriter* writer);
+
+util::Result<GraphDatabase> DecodeDatabase(util::ByteReader* reader);
+
+}  // namespace graphsig::graph
+
+#endif  // GRAPHSIG_GRAPH_SERIALIZE_H_

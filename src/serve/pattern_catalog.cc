@@ -1,0 +1,190 @@
+#include "serve/pattern_catalog.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "graph/isomorphism.h"
+#include "util/parallel.h"
+#include "util/timer.h"
+
+namespace graphsig::serve {
+
+LatencySummary SummarizeLatencies(std::vector<double> latencies_ms,
+                                  double wall_seconds) {
+  LatencySummary summary;
+  summary.count = latencies_ms.size();
+  summary.wall_seconds = wall_seconds;
+  if (latencies_ms.empty()) return summary;
+  std::sort(latencies_ms.begin(), latencies_ms.end());
+  // Nearest-rank percentile: ceil(p * n) elements at or below the value.
+  auto rank = [&](double p) {
+    size_t r = static_cast<size_t>(
+        std::ceil(p * static_cast<double>(latencies_ms.size())));
+    if (r == 0) r = 1;
+    return latencies_ms[r - 1];
+  };
+  summary.p50_ms = rank(0.50);
+  summary.p95_ms = rank(0.95);
+  summary.max_ms = latencies_ms.back();
+  if (wall_seconds > 0.0) {
+    summary.qps = static_cast<double>(latencies_ms.size()) / wall_seconds;
+  }
+  return summary;
+}
+
+PatternCatalog::QueryProfile PatternCatalog::BuildProfile(
+    const graph::Graph& g) {
+  QueryProfile profile;
+  profile.num_vertices = g.num_vertices();
+  profile.num_edges = g.num_edges();
+  for (graph::VertexId v = 0; v < g.num_vertices(); ++v) {
+    profile.degrees_by_label[g.vertex_label(v)].push_back(g.degree(v));
+  }
+  for (auto& [label, degrees] : profile.degrees_by_label) {
+    std::sort(degrees.begin(), degrees.end(), std::greater<int32_t>());
+  }
+  for (const graph::EdgeRecord& e : g.edges()) {
+    graph::Label a = g.vertex_label(e.u);
+    graph::Label b = g.vertex_label(e.v);
+    if (a > b) std::swap(a, b);
+    ++profile.edge_type_counts[{a, b, e.label}];
+  }
+  return profile;
+}
+
+PatternCatalog::PatternSignature PatternCatalog::BuildSignature(
+    const graph::Graph& g) {
+  const QueryProfile profile = BuildProfile(g);
+  PatternSignature sig;
+  sig.num_vertices = profile.num_vertices;
+  sig.num_edges = profile.num_edges;
+  sig.edge_type_counts.assign(profile.edge_type_counts.begin(),
+                              profile.edge_type_counts.end());
+  sig.degrees_by_label.assign(profile.degrees_by_label.begin(),
+                              profile.degrees_by_label.end());
+  return sig;
+}
+
+bool PatternCatalog::SignatureDominated(const PatternSignature& pattern,
+                                        const QueryProfile& query) {
+  if (pattern.num_vertices > query.num_vertices) return false;
+  if (pattern.num_edges > query.num_edges) return false;
+  for (const auto& [type, count] : pattern.edge_type_counts) {
+    auto it = query.edge_type_counts.find(type);
+    if (it == query.edge_type_counts.end() || it->second < count) {
+      return false;
+    }
+  }
+  for (const auto& [label, degrees] : pattern.degrees_by_label) {
+    auto it = query.degrees_by_label.find(label);
+    if (it == query.degrees_by_label.end() ||
+        it->second.size() < degrees.size()) {
+      return false;
+    }
+    // Both sides sorted descending: a greedy matching exists iff the
+    // k-th largest pattern degree fits under the k-th largest query
+    // degree for that label.
+    for (size_t k = 0; k < degrees.size(); ++k) {
+      if (degrees[k] > it->second[k]) return false;
+    }
+  }
+  return true;
+}
+
+util::Result<PatternCatalog> PatternCatalog::FromArtifact(
+    model::ModelArtifact artifact) {
+  PatternCatalog catalog;
+  catalog.artifact_ = std::move(artifact);
+  if (!catalog.artifact_.classifier.empty()) {
+    catalog.classifier_ = classify::GraphSigClassifier::FromModel(
+        catalog.artifact_.classifier);
+  }
+
+  // Anchor selection ranks labels by database frequency so each pattern
+  // is indexed under its most selective label; labels the database never
+  // saw rank rarest of all.
+  const std::map<graph::Label, int64_t> db_counts =
+      catalog.artifact_.database.VertexLabelCounts();
+  auto db_count = [&](graph::Label label) -> int64_t {
+    auto it = db_counts.find(label);
+    return it == db_counts.end() ? 0 : it->second;
+  };
+
+  catalog.signatures_.reserve(catalog.artifact_.catalog.size());
+  for (size_t i = 0; i < catalog.artifact_.catalog.size(); ++i) {
+    const graph::Graph& pattern = catalog.artifact_.catalog[i].subgraph;
+    if (pattern.num_vertices() == 0) {
+      return util::Status::FailedPrecondition(
+          "catalog contains an empty pattern graph");
+    }
+    catalog.signatures_.push_back(BuildSignature(pattern));
+    graph::Label anchor = pattern.vertex_label(0);
+    for (graph::VertexId v = 1; v < pattern.num_vertices(); ++v) {
+      const graph::Label label = pattern.vertex_label(v);
+      if (db_count(label) < db_count(anchor) ||
+          (db_count(label) == db_count(anchor) && label < anchor)) {
+        anchor = label;
+      }
+    }
+    catalog.patterns_by_anchor_[anchor].push_back(static_cast<int32_t>(i));
+  }
+  return catalog;
+}
+
+util::Result<PatternCatalog> PatternCatalog::LoadFromFile(
+    const std::string& path) {
+  auto artifact = model::LoadArtifact(path);
+  if (!artifact.ok()) return artifact.status();
+  return FromArtifact(std::move(artifact).value());
+}
+
+QueryResult PatternCatalog::Query(const graph::Graph& query,
+                                  const CatalogQueryConfig& config) const {
+  util::WallTimer timer;
+  QueryResult result;
+  if (config.compute_matches && !signatures_.empty()) {
+    const QueryProfile profile = BuildProfile(query);
+    for (const auto& [label, _] : profile.degrees_by_label) {
+      auto it = patterns_by_anchor_.find(label);
+      if (it == patterns_by_anchor_.end()) continue;
+      for (int32_t pattern_id : it->second) {
+        if (!SignatureDominated(signatures_[pattern_id], profile)) {
+          ++result.pruned;
+          continue;
+        }
+        ++result.iso_calls;
+        if (graph::IsSubgraphIsomorphic(
+                artifact_.catalog[pattern_id].subgraph, query)) {
+          result.matched_patterns.push_back(pattern_id);
+        }
+      }
+    }
+    // Patterns whose anchor label the query lacks count as pruned too:
+    // the index skipped them without even touching their signature.
+    result.pruned =
+        static_cast<int32_t>(signatures_.size()) - result.iso_calls;
+    std::sort(result.matched_patterns.begin(),
+              result.matched_patterns.end());
+  }
+  if (config.compute_score && has_classifier()) {
+    result.score = classifier_.Score(query);
+    result.has_score = true;
+  }
+  result.latency_ms = timer.ElapsedMillis();
+  return result;
+}
+
+std::vector<QueryResult> PatternCatalog::QueryBatch(
+    const std::vector<graph::Graph>& queries,
+    const CatalogQueryConfig& config) const {
+  const int threads =
+      config.num_threads == 0 ? util::HardwareThreads() : config.num_threads;
+  std::vector<QueryResult> results(queries.size());
+  util::ParallelFor(threads, queries.size(), [&](size_t i) {
+    results[i] = Query(queries[i], config);
+  });
+  return results;
+}
+
+}  // namespace graphsig::serve

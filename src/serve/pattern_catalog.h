@@ -1,0 +1,148 @@
+#ifndef GRAPHSIG_SERVE_PATTERN_CATALOG_H_
+#define GRAPHSIG_SERVE_PATTERN_CATALOG_H_
+
+// The online half of the offline-index/online-query split: PatternCatalog
+// loads a model artifact (src/model/) once and then answers per-molecule
+// queries — "which significant patterns does this graph contain, and what
+// is its k-NN activity score?" — without touching the miner.
+//
+// Pattern matching is exact subgraph isomorphism, but most catalog
+// patterns are rejected before any isomorphism call by two cheap layers:
+//   1. an inverted index keyed on each pattern's rarest vertex label
+//      (rarest over the indexed database), so a query only considers
+//      patterns whose anchor label it actually contains;
+//   2. per-pattern signatures — vertex/edge counts, the edge-type
+//      multiset (endpoint labels + bond label), and per-vertex-label
+//      sorted degree sequences — that must all be dominated by the
+//      query's.
+// Both layers are necessary conditions for containment, so the matched
+// set is identical to brute-force scanning (asserted in serve tests).
+
+#include <cstdint>
+#include <map>
+#include <tuple>
+#include <vector>
+
+#include "classify/sig_knn.h"
+#include "graph/graph.h"
+#include "model/artifact.h"
+#include "util/status.h"
+
+namespace graphsig::serve {
+
+struct CatalogQueryConfig {
+  // Worker threads for QueryBatch; 0 = util::HardwareThreads().
+  int num_threads = 0;
+  // Skip the pattern-matching half (score only) or the k-NN score
+  // (matches only).
+  bool compute_matches = true;
+  bool compute_score = true;
+};
+
+// One answered query.
+struct QueryResult {
+  // Indices into catalog() of every pattern contained in the query,
+  // ascending.
+  std::vector<int32_t> matched_patterns;
+  // Distance-weighted k-NN activity score (0 when the artifact has no
+  // classifier or compute_score is off).
+  double score = 0.0;
+  bool has_score = false;
+  double latency_ms = 0.0;
+  // Pruning telemetry: patterns that reached the isomorphism test vs.
+  // patterns rejected by the index/signature layers.
+  int32_t iso_calls = 0;
+  int32_t pruned = 0;
+};
+
+// Latency/throughput summary over a batch (printed by graphsig_query).
+struct LatencySummary {
+  size_t count = 0;
+  double p50_ms = 0.0;
+  double p95_ms = 0.0;
+  double max_ms = 0.0;
+  double wall_seconds = 0.0;
+  double qps = 0.0;
+};
+
+// Order statistics over per-query latencies plus throughput against the
+// batch wall time. Percentiles use the nearest-rank method.
+LatencySummary SummarizeLatencies(std::vector<double> latencies_ms,
+                                  double wall_seconds);
+
+class PatternCatalog {
+ public:
+  // Builds the serving indexes from a loaded artifact (moves it in).
+  // Fails if the artifact's catalog contains an empty-graph pattern
+  // (nothing in the pipeline produces one; treat as corruption).
+  static util::Result<PatternCatalog> FromArtifact(
+      model::ModelArtifact artifact);
+  // LoadArtifact + FromArtifact.
+  static util::Result<PatternCatalog> LoadFromFile(const std::string& path);
+
+  // Answers one query. Thread-safe: the catalog is immutable after
+  // construction.
+  QueryResult Query(const graph::Graph& query,
+                    const CatalogQueryConfig& config = {}) const;
+
+  // Answers a batch in parallel (util::ParallelFor over queries).
+  // Results are positionally aligned with `queries` and identical to
+  // serial Query() calls.
+  std::vector<QueryResult> QueryBatch(
+      const std::vector<graph::Graph>& queries,
+      const CatalogQueryConfig& config = {}) const;
+
+  size_t num_patterns() const { return artifact_.catalog.size(); }
+  bool has_classifier() const { return !artifact_.classifier.empty(); }
+  const std::vector<core::SignificantSubgraph>& catalog() const {
+    return artifact_.catalog;
+  }
+  const model::ModelArtifact& artifact() const { return artifact_; }
+
+ private:
+  PatternCatalog() = default;
+
+  // An edge type: endpoint labels normalized a <= b, plus the edge
+  // label.
+  using EdgeTypeKey = std::tuple<graph::Label, graph::Label, graph::Label>;
+
+  // Monotone containment signature of one catalog pattern: every field
+  // of a contained pattern is dominated by the corresponding field of
+  // the containing graph. A monomorphism maps each pattern vertex to a
+  // same-labeled query vertex of >= degree and each pattern edge to a
+  // distinct query edge of the same type, so label-wise descending
+  // degree sequences and edge-type counts must all be dominated.
+  struct PatternSignature {
+    int32_t num_vertices = 0;
+    int32_t num_edges = 0;
+    // (edge type, count), ascending by type.
+    std::vector<std::pair<EdgeTypeKey, int32_t>> edge_type_counts;
+    // Per vertex label, the degrees of that label's vertices sorted
+    // descending; ascending by label.
+    std::vector<std::pair<graph::Label, std::vector<int32_t>>>
+        degrees_by_label;
+  };
+
+  struct QueryProfile {
+    int32_t num_vertices = 0;
+    int32_t num_edges = 0;
+    std::map<EdgeTypeKey, int32_t> edge_type_counts;
+    std::map<graph::Label, std::vector<int32_t>> degrees_by_label;
+  };
+
+  static PatternSignature BuildSignature(const graph::Graph& g);
+  static QueryProfile BuildProfile(const graph::Graph& g);
+  static bool SignatureDominated(const PatternSignature& pattern,
+                                 const QueryProfile& query);
+
+  model::ModelArtifact artifact_;
+  classify::GraphSigClassifier classifier_;
+  std::vector<PatternSignature> signatures_;
+  // Inverted index: anchor label (the pattern's rarest vertex label in
+  // the indexed database) -> catalog indices, ascending.
+  std::map<graph::Label, std::vector<int32_t>> patterns_by_anchor_;
+};
+
+}  // namespace graphsig::serve
+
+#endif  // GRAPHSIG_SERVE_PATTERN_CATALOG_H_

@@ -37,7 +37,17 @@ void Log(LogLevel level, const std::string& message) {
       g_min_level.load(std::memory_order_relaxed)) {
     return;
   }
-  std::fprintf(stderr, "[%s] %s\n", LevelName(level), message.c_str());
+  // Pre-format the whole record and emit it with a single stdio call:
+  // stdio locks the stream per call, so concurrent ParallelFor workers
+  // cannot interleave one record inside another.
+  std::string line;
+  line.reserve(message.size() + 16);
+  line += '[';
+  line += LevelName(level);
+  line += "] ";
+  line += message;
+  line += '\n';
+  std::fputs(line.c_str(), stderr);
 }
 
 void LogDebug(const std::string& message) { Log(LogLevel::kDebug, message); }

@@ -4,7 +4,7 @@
 //   graphsig_classify --train=train.smi --test=test.smi
 //                     [--format=smiles|sdf|gspan] [--k=9]
 //                     [--max-pvalue=0.1] [--min-freq=0.1]
-//                     [--predictions=out.tsv]
+//                     [--threads=1 (0 = auto)] [--predictions=out.tsv]
 //
 // Prints AUC over the test file (using its tags as truth) and optionally
 // writes per-graph scores.
@@ -14,6 +14,7 @@
 #include "classify/auc.h"
 #include "classify/sig_knn.h"
 #include "tools/tool_util.h"
+#include "util/parallel.h"
 #include "util/strings.h"
 #include "util/timer.h"
 
@@ -26,7 +27,8 @@ int main(int argc, char** argv) {
     std::fprintf(stderr,
                  "usage: graphsig_classify --train=FILE --test=FILE "
                  "[--format=smiles|sdf|gspan] [--k=9] [--max-pvalue=P] "
-                 "[--min-freq=F%%] [--predictions=FILE]\n");
+                 "[--min-freq=F%%] [--threads=N (0 = auto)] "
+                 "[--predictions=FILE]\n");
     return 1;
   }
   const std::string format = flags.GetString("format", "smiles");
@@ -41,6 +43,9 @@ int main(int argc, char** argv) {
       flags.GetDouble("max-pvalue", config.mining.max_pvalue);
   config.mining.min_freq_percent =
       flags.GetDouble("min-freq", config.mining.min_freq_percent);
+  const int threads = tools::ResolveThreads(
+      flags.GetInt("threads", config.mining.num_threads));
+  config.mining.num_threads = threads;
 
   classify::GraphSigClassifier classifier(config);
   util::WallTimer train_timer;
@@ -52,14 +57,19 @@ int main(int argc, char** argv) {
               classifier.negative_vectors().size());
 
   util::WallTimer test_timer;
+  const std::vector<graph::Graph>& test_graphs = test.value().graphs();
+  std::vector<double> scores(test_graphs.size());
+  util::ParallelFor(threads, test_graphs.size(), [&](size_t i) {
+    scores[i] = classifier.Score(test_graphs[i]);
+  });
   std::vector<classify::ScoredExample> scored;
   std::string predictions = "id\ttruth\tscore\tprediction\n";
-  for (const graph::Graph& g : test.value().graphs()) {
-    const double score = classifier.Score(g);
-    scored.push_back({score, g.tag() == 1});
+  for (size_t i = 0; i < test_graphs.size(); ++i) {
+    const graph::Graph& g = test_graphs[i];
+    scored.push_back({scores[i], g.tag() == 1});
     predictions += util::StrPrintf(
         "%lld\t%d\t%.6f\t%d\n", static_cast<long long>(g.id()), g.tag(),
-        score, score > 0.0 ? 1 : 0);
+        scores[i], scores[i] > 0.0 ? 1 : 0);
   }
   std::printf("scored %zu graphs in %.2fs\n", test.value().size(),
               test_timer.ElapsedSeconds());

@@ -2,7 +2,7 @@
 //
 //   graphsig_mine --input=actives.smi [--format=smiles|sdf|gspan]
 //                 [--active-only] [--max-pvalue=0.1] [--min-freq=0.1]
-//                 [--radius=8] [--fsg-freq=80] [--threads=1]
+//                 [--radius=8] [--fsg-freq=80] [--threads=1 (0 = auto)]
 //                 [--top=20] [--no-frequency]
 //
 // Prints one block per significant subgraph: p-value, supports, global
@@ -28,8 +28,8 @@ int main(int argc, char** argv) {
     std::fprintf(stderr,
                  "usage: graphsig_mine --input=FILE [--format=smiles|sdf|"
                  "gspan] [--active-only] [--max-pvalue=P] [--min-freq=F%%]"
-                 " [--radius=R] [--fsg-freq=F%%] [--threads=N] [--top=K]"
-                 " [--no-frequency] [--csv=FILE]\n");
+                 " [--radius=R] [--fsg-freq=F%%] [--threads=N (0 = auto)]"
+                 " [--top=K] [--no-frequency] [--csv=FILE]\n");
     return 1;
   }
   auto loaded =
@@ -52,7 +52,7 @@ int main(int argc, char** argv) {
   config.fsg_freq_percent =
       flags.GetDouble("fsg-freq", config.fsg_freq_percent);
   config.num_threads =
-      static_cast<int>(flags.GetInt("threads", config.num_threads));
+      tools::ResolveThreads(flags.GetInt("threads", config.num_threads));
   config.compute_db_frequency = !flags.GetBool("no-frequency");
 
   core::GraphSig miner(config);

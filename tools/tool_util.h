@@ -12,6 +12,7 @@
 #include "data/molfile.h"
 #include "data/smiles.h"
 #include "graph/io.h"
+#include "util/parallel.h"
 #include "util/status.h"
 #include "util/strings.h"
 
@@ -62,6 +63,13 @@ class Flags {
  private:
   std::map<std::string, std::string> values_;
 };
+
+// Shared interpretation of --threads across every tool: 0 means "auto"
+// (one worker per hardware thread); any positive value is taken as-is.
+inline int ResolveThreads(int64_t flag_value) {
+  if (flag_value <= 0) return util::HardwareThreads();
+  return static_cast<int>(flag_value);
+}
 
 inline util::Result<std::string> ReadFile(const std::string& path) {
   std::ifstream in(path);
