@@ -4,6 +4,7 @@
 #include <cmath>
 #include <map>
 #include <string>
+#include <unordered_map>
 
 #include "fsm/dfs_code.h"
 #include "fsm/maximal.h"
@@ -60,13 +61,27 @@ FeaturePhaseOutput RunFeaturePhase(const GraphSigConfig& config,
   }
   out.stats.num_groups = static_cast<int64_t>(groups.size());
 
+  // Groups are independent minings, so they fan out over the pool; each
+  // writes its own slot and the slots concatenate in label order below,
+  // making the output identical for any thread count.
+  std::vector<const std::vector<int32_t>*> group_members;
+  std::vector<Label> group_labels;
+  group_members.reserve(groups.size());
+  group_labels.reserve(groups.size());
   for (const auto& [label, member_indices] : groups) {
+    group_labels.push_back(label);
+    group_members.push_back(&member_indices);
+  }
+  std::vector<std::vector<fvmine::SignificantVector>> per_group(
+      groups.size());
+  util::ParallelFor(config.num_threads, groups.size(), [&](size_t g) {
+    const std::vector<int32_t>& member_indices = *group_members[g];
     // Group-relative frequency threshold (see GraphSigConfig).
     const int64_t min_support = std::max<int64_t>(
         config.min_support_floor,
         static_cast<int64_t>(std::ceil(config.min_freq_percent / 100.0 *
                                        member_indices.size())));
-    if (static_cast<int64_t>(member_indices.size()) < min_support) continue;
+    if (static_cast<int64_t>(member_indices.size()) < min_support) return;
     std::vector<const FeatureVec*> population;
     population.reserve(member_indices.size());
     for (int32_t idx : member_indices) {
@@ -82,7 +97,12 @@ FeaturePhaseOutput RunFeaturePhase(const GraphSigConfig& config,
     fvmine::FvMineResult mined = fvmine::FvMine(population, priors, fv_config);
     for (fvmine::SignificantVector& sv : mined.vectors) {
       for (int32_t& idx : sv.supporting) idx = member_indices[idx];
-      out.significant.emplace_back(label, std::move(sv));
+      per_group[g].push_back(std::move(sv));
+    }
+  });
+  for (size_t g = 0; g < per_group.size(); ++g) {
+    for (fvmine::SignificantVector& sv : per_group[g]) {
+      out.significant.emplace_back(group_labels[g], std::move(sv));
     }
   }
   out.stats.num_significant_vectors =
@@ -120,34 +140,89 @@ GraphSigResult GraphSig::Mine(const GraphDatabase& db) const {
   util::WallTimer fsm_timer;
   // Graph-space phase (Algorithm 2, lines 8-13): each significant vector
   // selects the regions it describes; cut them out and mine maximally at
-  // a high relative threshold.
-  std::map<std::string, SignificantSubgraph> dedup;  // canonical -> best
+  // a high relative threshold. The per-vector minings are independent,
+  // so each runs as a pool task that dedups into its own local map; the
+  // local maps merge at the barrier in significant-vector order — the
+  // order the old serial loop used — so output is identical for any
+  // thread count.
 
+  // Pass 1 (serial, cheap): pick each vector's region sample and collect
+  // the distinct (graph, node) cuts the samples need. Nearby significant
+  // vectors keep re-selecting the same nodes, so the same BFS + induced
+  // subgraph would otherwise be recomputed once per selecting vector;
+  // the cache computes each cut exactly once (radius is fixed per run,
+  // so (graph_index, node) identifies a cut).
+  struct VectorTask {
+    Label label;
+    const fvmine::SignificantVector* sv;
+    std::vector<int32_t> chosen;  // node-vector indices after subsampling
+  };
+  std::vector<VectorTask> tasks;
+  std::unordered_map<int64_t, int32_t> cut_slot;  // cut key -> cache slot
+  std::vector<int32_t> cut_owner;  // slot -> node-vector index to cut at
+  const auto cut_key = [](int32_t graph_index, graph::VertexId node) {
+    return (static_cast<int64_t>(graph_index) << 32) |
+           static_cast<int64_t>(static_cast<uint32_t>(node));
+  };
   for (const auto& [label, sv] : phase.significant) {
     if (sv.supporting.size() < config_.min_set_size) continue;
-
+    VectorTask task;
+    task.label = label;
+    task.sv = &sv;
     // Evenly subsample oversized sets (see max_regions_per_set).
-    std::vector<int32_t> chosen;
     if (sv.supporting.size() > config_.max_regions_per_set) {
-      chosen.reserve(config_.max_regions_per_set);
+      task.chosen.reserve(config_.max_regions_per_set);
       const double stride = static_cast<double>(sv.supporting.size()) /
                             static_cast<double>(config_.max_regions_per_set);
       for (size_t k = 0; k < config_.max_regions_per_set; ++k) {
-        chosen.push_back(sv.supporting[static_cast<size_t>(k * stride)]);
+        task.chosen.push_back(sv.supporting[static_cast<size_t>(k * stride)]);
       }
     } else {
-      chosen = sv.supporting;
+      task.chosen = sv.supporting;
     }
-
-    GraphDatabase regions;
-    regions.Reserve(chosen.size());
-    for (int32_t vector_index : chosen) {
+    for (int32_t vector_index : task.chosen) {
       const NodeVector& nv = phase.node_vectors[vector_index];
-      const graph::Graph& host = db.graph(nv.graph_index);
-      graph::Graph cut = host.InducedSubgraph(
-          host.VerticesWithinRadius(nv.node, config_.cutoff_radius));
-      cut.set_id(nv.graph_index);
-      regions.Add(std::move(cut));
+      if (cut_slot
+              .emplace(cut_key(nv.graph_index, nv.node),
+                       static_cast<int32_t>(cut_owner.size()))
+              .second) {
+        cut_owner.push_back(vector_index);
+      }
+    }
+    result.stats.num_region_requests +=
+        static_cast<int64_t>(task.chosen.size());
+    tasks.push_back(std::move(task));
+  }
+  result.stats.num_unique_regions = static_cast<int64_t>(cut_owner.size());
+
+  // Pass 2: compute each distinct cut once, in parallel (each slot is
+  // written by exactly one task; the cut is a pure function of its key).
+  std::vector<graph::Graph> cuts(cut_owner.size());
+  util::ParallelFor(config_.num_threads, cut_owner.size(), [&](size_t i) {
+    const NodeVector& nv = phase.node_vectors[cut_owner[i]];
+    const graph::Graph& host = db.graph(nv.graph_index);
+    graph::Graph cut = host.InducedSubgraph(
+        host.VerticesWithinRadius(nv.node, config_.cutoff_radius));
+    cut.set_id(nv.graph_index);
+    cuts[i] = std::move(cut);
+  });
+
+  // Pass 3: mine every region set as a pool task. `cut_slot` and `cuts`
+  // are read-only from here on.
+  struct TaskOutput {
+    std::map<std::string, SignificantSubgraph> dedup;  // canonical -> best
+    bool filtered = false;
+  };
+  std::vector<TaskOutput> outputs(tasks.size());
+  util::ParallelFor(config_.num_threads, tasks.size(), [&](size_t t) {
+    const VectorTask& task = tasks[t];
+    const fvmine::SignificantVector& sv = *task.sv;
+    GraphDatabase regions;
+    regions.Reserve(task.chosen.size());
+    for (int32_t vector_index : task.chosen) {
+      const NodeVector& nv = phase.node_vectors[vector_index];
+      regions.Add(
+          cuts[cut_slot.at(cut_key(nv.graph_index, nv.node))]);
     }
 
     fsm::MinerConfig miner_config;
@@ -157,12 +232,11 @@ GraphSigResult GraphSig::Mine(const GraphDatabase& db) const {
     miner_config.max_edges = config_.fsm_max_edges;
     miner_config.max_patterns = config_.fsm_max_patterns;
     fsm::MineResult mined = fsm::MineMaximalGSpan(regions, miner_config);
-    ++result.stats.num_sets_mined;
     if (mined.patterns.empty()) {
       // False positive: similar vectors, no common structure (the line-13
       // pruning the paper describes).
-      ++result.stats.num_sets_filtered;
-      continue;
+      outputs[t].filtered = true;
+      return;
     }
 
     for (const fsm::Pattern& pattern : mined.patterns) {
@@ -172,10 +246,22 @@ GraphSigResult GraphSig::Mine(const GraphDatabase& db) const {
       candidate.vector = sv.vector;
       candidate.vector_pvalue = sv.p_value;
       candidate.vector_support = sv.support;
-      candidate.anchor_label = label;
+      candidate.anchor_label = task.label;
       candidate.set_size = static_cast<int64_t>(regions.size());
       candidate.set_support = pattern.support;
-      const std::string key = fsm::CanonicalCode(pattern.graph);
+      outputs[t].dedup.emplace(fsm::CanonicalCode(pattern.graph),
+                               std::move(candidate));
+    }
+  });
+
+  // Deterministic merge: task order is significant-vector order, and the
+  // better-candidate rule matches the old serial loop, so ties resolve
+  // identically regardless of which worker mined what.
+  std::map<std::string, SignificantSubgraph> dedup;  // canonical -> best
+  for (size_t t = 0; t < outputs.size(); ++t) {
+    ++result.stats.num_sets_mined;
+    if (outputs[t].filtered) ++result.stats.num_sets_filtered;
+    for (auto& [key, candidate] : outputs[t].dedup) {
       auto it = dedup.find(key);
       if (it == dedup.end()) {
         dedup.emplace(key, std::move(candidate));

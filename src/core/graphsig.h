@@ -57,8 +57,10 @@ struct GraphSigConfig {
   double fvmine_budget_seconds = std::numeric_limits<double>::infinity();
   bool use_ceiling_prune = true;
 
-  // Worker threads for the RWR featurization phase (1 = serial; output
-  // is identical either way).
+  // Worker threads for every pipeline phase: RWR featurization,
+  // per-label-group FVMine, region cutting, and per-vector graph-space
+  // mining (1 = serial). Output is bit-identical for any value — each
+  // phase merges its per-task results in a fixed order.
   int num_threads = 1;
 
   // Compute each output pattern's frequency over the full database
@@ -96,6 +98,11 @@ struct GraphSigStats {
   int64_t num_significant_vectors = 0;  // FVMine outputs across groups
   int64_t num_sets_mined = 0;          // region sets that reached FSM
   int64_t num_sets_filtered = 0;       // false-positive sets (no pattern)
+  // Region-cut cache effectiveness: cuts requested across all region
+  // sets vs distinct (graph, node) cuts actually computed. Their ratio
+  // is the dedup factor the cache buys.
+  int64_t num_region_requests = 0;
+  int64_t num_unique_regions = 0;
 };
 
 struct GraphSigResult {

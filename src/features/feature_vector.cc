@@ -40,4 +40,30 @@ FeatureVec Ceiling(const std::vector<const FeatureVec*>& vectors) {
   return out;
 }
 
+void FloorInto(const std::vector<const FeatureVec*>& population,
+               const std::vector<int32_t>& indices, FeatureVec* out) {
+  GS_CHECK(!indices.empty());
+  *out = *population[indices[0]];
+  for (size_t k = 1; k < indices.size(); ++k) {
+    const FeatureVec& v = *population[indices[k]];
+    GS_CHECK_EQ(v.size(), out->size());
+    for (size_t i = 0; i < out->size(); ++i) {
+      (*out)[i] = std::min((*out)[i], v[i]);
+    }
+  }
+}
+
+void CeilingInto(const std::vector<const FeatureVec*>& population,
+                 const std::vector<int32_t>& indices, FeatureVec* out) {
+  GS_CHECK(!indices.empty());
+  *out = *population[indices[0]];
+  for (size_t k = 1; k < indices.size(); ++k) {
+    const FeatureVec& v = *population[indices[k]];
+    GS_CHECK_EQ(v.size(), out->size());
+    for (size_t i = 0; i < out->size(); ++i) {
+      (*out)[i] = std::max((*out)[i], v[i]);
+    }
+  }
+}
+
 }  // namespace graphsig::features

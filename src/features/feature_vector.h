@@ -28,6 +28,16 @@ bool IsSubVector(const FeatureVec& x, const FeatureVec& y);
 FeatureVec Floor(const std::vector<const FeatureVec*>& vectors);
 FeatureVec Ceiling(const std::vector<const FeatureVec*>& vectors);
 
+// Index-set overloads: slot-wise min / max over population[indices]
+// (non-empty), written into *out, which is resized to the vector width
+// and may be reused across calls. These exist for FVMine's inner loop,
+// which would otherwise build a temporary pointer vector per Search
+// call just to adapt to the set-of-pointers API above.
+void FloorInto(const std::vector<const FeatureVec*>& population,
+               const std::vector<int32_t>& indices, FeatureVec* out);
+void CeilingInto(const std::vector<const FeatureVec*>& population,
+                 const std::vector<int32_t>& indices, FeatureVec* out);
+
 }  // namespace graphsig::features
 
 #endif  // GRAPHSIG_FEATURES_FEATURE_VECTOR_H_

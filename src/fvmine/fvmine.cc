@@ -22,7 +22,8 @@ class Searcher {
   FvMineResult Run() {
     std::vector<int32_t> all(population_.size());
     for (size_t i = 0; i < all.size(); ++i) all[i] = static_cast<int32_t>(i);
-    FeatureVec x = FloorOf(all);
+    FeatureVec x;
+    features::FloorInto(population_, all, &x);
     if (static_cast<int64_t>(all.size()) >= config_.min_support) {
       Search(x, all, 0);
     }
@@ -31,24 +32,10 @@ class Searcher {
   }
 
  private:
-  FeatureVec FloorOf(const std::vector<int32_t>& support_set) const {
-    std::vector<const FeatureVec*> refs;
-    refs.reserve(support_set.size());
-    for (int32_t i : support_set) refs.push_back(population_[i]);
-    return features::Floor(refs);
-  }
-
   double Evaluate(const FeatureVec& x, int64_t support) const {
     return config_.use_normal_approximation
                ? priors_.PValueAuto(x, support)
                : priors_.PValue(x, support);
-  }
-
-  FeatureVec CeilingOf(const std::vector<int32_t>& support_set) const {
-    std::vector<const FeatureVec*> refs;
-    refs.reserve(support_set.size());
-    for (int32_t i : support_set) refs.push_back(population_[i]);
-    return features::Ceiling(refs);
   }
 
   // Algorithm 1: x is the current closed vector (floor of S), S its
@@ -85,7 +72,8 @@ class Searcher {
       if (static_cast<int64_t>(s_prime.size()) < config_.min_support) {
         continue;
       }
-      FeatureVec x_prime = FloorOf(s_prime);
+      FeatureVec x_prime;
+      features::FloorInto(population_, s_prime, &x_prime);
       // Duplicate state: if the floor also rose on a feature before i,
       // this state is reachable from an earlier branch.
       bool duplicate = false;
@@ -98,9 +86,11 @@ class Searcher {
       if (duplicate) continue;
       if (config_.use_ceiling_prune) {
         // Optimistic bound: no descendant can beat the ceiling's p-value
-        // at the current support.
+        // at the current support. The ceiling is consumed immediately,
+        // so one buffer serves every Search call.
+        features::CeilingInto(population_, s_prime, &ceiling_buffer_);
         const double best_possible = Evaluate(
-            CeilingOf(s_prime), static_cast<int64_t>(s_prime.size()));
+            ceiling_buffer_, static_cast<int64_t>(s_prime.size()));
         if (best_possible >= config_.max_pvalue) continue;
       }
       Search(x_prime, s_prime, i);
@@ -114,6 +104,7 @@ class Searcher {
   size_t width_;
   FvMineResult result_;
   util::WallTimer timer_;
+  FeatureVec ceiling_buffer_;
   bool stopped_ = false;
 };
 

@@ -181,6 +181,8 @@ std::vector<QueryResult> PatternCatalog::QueryBatch(
   const int threads =
       config.num_threads == 0 ? util::HardwareThreads() : config.num_threads;
   std::vector<QueryResult> results(queries.size());
+  // Each query writes only its own slot, so the batch is deterministic;
+  // the claim loops run on the shared persistent pool.
   util::ParallelFor(threads, queries.size(), [&](size_t i) {
     results[i] = Query(queries[i], config);
   });

@@ -85,9 +85,10 @@ class PatternCatalog {
   QueryResult Query(const graph::Graph& query,
                     const CatalogQueryConfig& config = {}) const;
 
-  // Answers a batch in parallel (util::ParallelFor over queries).
-  // Results are positionally aligned with `queries` and identical to
-  // serial Query() calls.
+  // Answers a batch in parallel (util::ParallelFor over queries, which
+  // fans out on the persistent global ThreadPool — back-to-back batches
+  // pay no thread spawn/join cost). Results are positionally aligned
+  // with `queries` and identical to serial Query() calls.
   std::vector<QueryResult> QueryBatch(
       const std::vector<graph::Graph>& queries,
       const CatalogQueryConfig& config = {}) const;

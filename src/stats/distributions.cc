@@ -7,6 +7,19 @@
 namespace graphsig::stats {
 namespace {
 
+// std::lgamma writes the process-global `signgam`, so concurrent
+// p-value evaluations (FVMine groups, graph-space tasks) race on it.
+// lgamma_r is the reentrant variant; fall back to std::lgamma where it
+// is unavailable (single-threaded correctness is unaffected either way).
+inline double LogGamma(double x) {
+#if defined(__GLIBC__) || defined(__APPLE__)
+  int sign = 0;
+  return ::lgamma_r(x, &sign);
+#else
+  return std::lgamma(x);
+#endif
+}
+
 // Continued-fraction kernel for the incomplete beta function
 // (Numerical Recipes' betacf, modified Lentz method).
 double BetaContinuedFraction(double a, double b, double x) {
@@ -49,9 +62,9 @@ double BetaContinuedFraction(double a, double b, double x) {
 double LogBinomialCoefficient(int64_t n, int64_t k) {
   GS_CHECK_GE(k, 0);
   GS_CHECK_LE(k, n);
-  return std::lgamma(static_cast<double>(n) + 1.0) -
-         std::lgamma(static_cast<double>(k) + 1.0) -
-         std::lgamma(static_cast<double>(n - k) + 1.0);
+  return LogGamma(static_cast<double>(n) + 1.0) -
+         LogGamma(static_cast<double>(k) + 1.0) -
+         LogGamma(static_cast<double>(n - k) + 1.0);
 }
 
 double RegularizedIncompleteBeta(double a, double b, double x) {
@@ -61,8 +74,8 @@ double RegularizedIncompleteBeta(double a, double b, double x) {
   GS_CHECK_LE(x, 1.0);
   if (x == 0.0) return 0.0;
   if (x == 1.0) return 1.0;
-  const double log_front = std::lgamma(a + b) - std::lgamma(a) -
-                           std::lgamma(b) + a * std::log(x) +
+  const double log_front = LogGamma(a + b) - LogGamma(a) -
+                           LogGamma(b) + a * std::log(x) +
                            b * std::log1p(-x);
   // Use the symmetry I_x(a,b) = 1 - I_{1-x}(b,a) to stay in the
   // fast-converging regime of the continued fraction.

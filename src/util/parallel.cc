@@ -1,8 +1,10 @@
 #include "util/parallel.h"
 
+#include <algorithm>
 #include <atomic>
 #include <thread>
-#include <vector>
+
+#include "util/thread_pool.h"
 
 namespace graphsig::util {
 
@@ -18,21 +20,24 @@ void ParallelFor(int num_threads, size_t count,
     for (size_t i = 0; i < count; ++i) fn(i);
     return;
   }
-  const size_t workers =
-      std::min<size_t>(static_cast<size_t>(num_threads), count);
+  ThreadPool& pool = ThreadPool::Global();
+  // One claim loop per requested thread, capped by the work available
+  // and by the pool width plus the caller (who participates too).
+  const size_t loops =
+      std::min({static_cast<size_t>(num_threads), count,
+                static_cast<size_t>(pool.num_workers()) + 1});
   std::atomic<size_t> next{0};
-  auto work = [&]() {
-    while (true) {
+  TaskGroup group(&pool);
+  auto work = [&] {
+    while (!group.failed()) {
       const size_t i = next.fetch_add(1, std::memory_order_relaxed);
       if (i >= count) break;
       fn(i);
     }
   };
-  std::vector<std::thread> threads;
-  threads.reserve(workers - 1);
-  for (size_t t = 1; t < workers; ++t) threads.emplace_back(work);
-  work();
-  for (std::thread& t : threads) t.join();
+  for (size_t t = 1; t < loops; ++t) group.Run(work);
+  group.RunInline(work);
+  group.Wait();  // rethrows the first captured exception, if any
 }
 
 }  // namespace graphsig::util

@@ -6,12 +6,22 @@
 
 namespace graphsig::util {
 
-// Runs fn(i) for every i in [0, count), distributing indices over up to
-// `num_threads` worker threads (1 or 0 = run inline on the caller).
-// Blocks until every call returns. Work is claimed through an atomic
-// counter, so uneven per-item costs balance automatically. `fn` must be
-// safe to call concurrently for distinct indices; results stay
-// deterministic as long as each index writes only its own slots.
+// Runs fn(i) for every i in [0, count), fanning out over the persistent
+// global ThreadPool with up to `num_threads` concurrent claim loops
+// (1 or 0 = run inline on the caller). Blocks until every call returns.
+// Work is claimed through an atomic counter, so uneven per-item costs
+// balance automatically. `fn` must be safe to call concurrently for
+// distinct indices; results stay deterministic as long as each index
+// writes only its own slots.
+//
+// If fn throws, the first exception is captured, the remaining indices
+// are drained without being run, and the exception is rethrown on the
+// caller's thread once every in-flight call has finished — so
+// Status-style error handling (and GS_CHECK-adjacent throws in tests)
+// behave the same as in serial code.
+//
+// Safe to nest: an fn that itself calls ParallelFor shares the same
+// pool, and blocked callers help execute queued work instead of idling.
 void ParallelFor(int num_threads, size_t count,
                  const std::function<void(size_t)>& fn);
 

@@ -1,0 +1,181 @@
+#include "util/thread_pool.h"
+
+#include <algorithm>
+#include <chrono>
+#include <utility>
+
+#include "util/parallel.h"
+
+namespace graphsig::util {
+namespace {
+
+// Identifies the pool (and worker slot) the current thread belongs to,
+// so Submit() can route a worker's own submissions to its own deque and
+// nested parallel regions stay on the hot path.
+thread_local ThreadPool* tls_pool = nullptr;
+thread_local size_t tls_worker_index = 0;
+
+}  // namespace
+
+ThreadPool::ThreadPool(int num_threads) {
+  const size_t n = static_cast<size_t>(std::max(num_threads, 1));
+  deques_.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    deques_.push_back(std::make_unique<WorkerDeque>());
+  }
+  workers_.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    workers_.emplace_back([this, i] { WorkerLoop(i); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(sleep_mutex_);
+    stopping_ = true;
+  }
+  sleep_cv_.notify_all();
+  for (std::thread& t : workers_) t.join();
+}
+
+ThreadPool& ThreadPool::Global() {
+  // Function-local static: joined cleanly at exit, so leak checkers stay
+  // quiet and no worker outlives main.
+  static ThreadPool pool(HardwareThreads());
+  return pool;
+}
+
+bool ThreadPool::OnWorkerThread() const { return tls_pool == this; }
+
+void ThreadPool::Submit(std::function<void()> task) {
+  const size_t index =
+      OnWorkerThread()
+          ? tls_worker_index
+          : submit_cursor_.fetch_add(1, std::memory_order_relaxed) %
+                deques_.size();
+  {
+    std::lock_guard<std::mutex> lock(deques_[index]->mutex);
+    deques_[index]->tasks.push_back(std::move(task));
+  }
+  queued_.fetch_add(1, std::memory_order_release);
+  // Empty critical section: a worker between its queue check and its
+  // cv wait holds sleep_mutex_, so this cannot slip past it unseen.
+  { std::lock_guard<std::mutex> lock(sleep_mutex_); }
+  sleep_cv_.notify_one();
+}
+
+bool ThreadPool::PopTask(size_t queue_index, bool lifo,
+                         std::function<void()>* out) {
+  WorkerDeque& dq = *deques_[queue_index];
+  std::lock_guard<std::mutex> lock(dq.mutex);
+  if (dq.tasks.empty()) return false;
+  if (lifo) {
+    *out = std::move(dq.tasks.back());
+    dq.tasks.pop_back();
+  } else {
+    *out = std::move(dq.tasks.front());
+    dq.tasks.pop_front();
+  }
+  queued_.fetch_sub(1, std::memory_order_relaxed);
+  return true;
+}
+
+bool ThreadPool::TryRunTask(size_t home_index) {
+  std::function<void()> task;
+  // Own deque first (LIFO: the task just pushed by a nested region is
+  // the cache-hot one), then steal oldest-first from siblings.
+  if (!PopTask(home_index, /*lifo=*/true, &task)) {
+    bool found = false;
+    for (size_t step = 1; step < deques_.size() && !found; ++step) {
+      found = PopTask((home_index + step) % deques_.size(), /*lifo=*/false,
+                      &task);
+    }
+    if (!found) return false;
+  }
+  task();
+  return true;
+}
+
+bool ThreadPool::RunOneTask() {
+  const size_t home = OnWorkerThread() ? tls_worker_index : 0;
+  return TryRunTask(home);
+}
+
+void ThreadPool::WorkerLoop(size_t worker_index) {
+  tls_pool = this;
+  tls_worker_index = worker_index;
+  while (true) {
+    if (TryRunTask(worker_index)) continue;
+    std::unique_lock<std::mutex> lock(sleep_mutex_);
+    if (stopping_) return;
+    sleep_cv_.wait(lock, [this] {
+      return stopping_ || queued_.load(std::memory_order_acquire) > 0;
+    });
+    if (stopping_) return;
+  }
+}
+
+void TaskGroup::Run(std::function<void()> fn) {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    ++pending_;
+  }
+  pool_->Submit([this, fn = std::move(fn)] {
+    try {
+      fn();
+    } catch (...) {
+      RecordException();
+    }
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (--pending_ == 0) done_cv_.notify_all();
+  });
+}
+
+void TaskGroup::RunInline(const std::function<void()>& fn) {
+  try {
+    fn();
+  } catch (...) {
+    RecordException();
+  }
+}
+
+void TaskGroup::RecordException() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (first_exception_ == nullptr) {
+    first_exception_ = std::current_exception();
+  }
+  failed_.store(true, std::memory_order_release);
+}
+
+void TaskGroup::WaitNoThrow() {
+  while (true) {
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      if (pending_ == 0) return;
+    }
+    // Help instead of idling — this is what makes nested ParallelFor
+    // safe: a worker waiting on an inner group keeps draining the pool,
+    // so the inner tasks it depends on always make progress.
+    if (pool_->RunOneTask()) continue;
+    // Nothing stealable: our remaining tasks are mid-flight on other
+    // threads. The timed wait covers the benign race where the last
+    // task finishes between the pending check and this wait.
+    std::unique_lock<std::mutex> lock(mutex_);
+    done_cv_.wait_for(lock, std::chrono::milliseconds(1),
+                      [this] { return pending_ == 0; });
+    if (pending_ == 0) return;
+  }
+}
+
+void TaskGroup::Wait() {
+  WaitNoThrow();
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (first_exception_ != nullptr) {
+    std::exception_ptr e = first_exception_;
+    first_exception_ = nullptr;
+    failed_.store(false, std::memory_order_release);
+    std::rethrow_exception(e);
+  }
+}
+
+}  // namespace graphsig::util

@@ -1,0 +1,124 @@
+#ifndef GRAPHSIG_UTIL_THREAD_POOL_H_
+#define GRAPHSIG_UTIL_THREAD_POOL_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <exception>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace graphsig::util {
+
+// A persistent work-stealing thread pool. Workers are spawned once and
+// reused across every parallel phase of the pipeline, so callers that
+// fan out repeatedly (FVMine per label group, per-vector region mining,
+// batched query serving) never pay per-call thread spawn/join costs.
+//
+// Each worker owns a deque: it pushes and pops its own work LIFO (hot
+// caches for nested fan-out) and steals FIFO from siblings when its own
+// deque drains (oldest work first, the classic Cilk/TBB discipline).
+// Threads that block in TaskGroup::Wait help by stealing too, so nested
+// parallel regions (a pool task that itself calls ParallelFor) cannot
+// deadlock the pool.
+//
+// The pool itself imposes no ordering; determinism is the caller's
+// contract (each task writes only its own slots, merges happen on the
+// waiting thread in a fixed order).
+class ThreadPool {
+ public:
+  // Spawns `num_threads` workers (clamped to >= 1).
+  explicit ThreadPool(int num_threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  int num_workers() const { return static_cast<int>(workers_.size()); }
+
+  // Enqueues `task` for execution on some worker. Tasks submitted from a
+  // worker thread go to that worker's own deque; external submissions are
+  // spread round-robin. `task` must not throw out of the pool unwrapped —
+  // use TaskGroup, which wraps tasks with exception capture.
+  void Submit(std::function<void()> task);
+
+  // Runs one pending task on the calling thread if any is queued.
+  // Returns false without blocking when every deque is empty. Used by
+  // TaskGroup::Wait to help instead of idling.
+  bool RunOneTask();
+
+  // The process-wide pool, created on first use with HardwareThreads()
+  // workers. All ParallelFor traffic runs here.
+  static ThreadPool& Global();
+
+  // True when the calling thread is a worker of this pool.
+  bool OnWorkerThread() const;
+
+ private:
+  struct WorkerDeque {
+    std::mutex mutex;
+    std::deque<std::function<void()>> tasks;
+  };
+
+  void WorkerLoop(size_t worker_index);
+  bool TryRunTask(size_t home_index);
+  bool PopTask(size_t queue_index, bool lifo, std::function<void()>* out);
+
+  std::vector<std::unique_ptr<WorkerDeque>> deques_;
+  std::vector<std::thread> workers_;
+  std::atomic<size_t> submit_cursor_{0};
+  std::atomic<int64_t> queued_{0};  // tasks enqueued, not yet dequeued
+  std::mutex sleep_mutex_;
+  std::condition_variable sleep_cv_;
+  bool stopping_ = false;  // guarded by sleep_mutex_
+};
+
+// Tracks a batch of tasks submitted to a ThreadPool, propagating the
+// first exception a task throws to the thread that calls Wait(). Not
+// reusable after Wait() rethrows; create one group per parallel region.
+class TaskGroup {
+ public:
+  explicit TaskGroup(ThreadPool* pool = &ThreadPool::Global())
+      : pool_(pool) {}
+  ~TaskGroup() { WaitNoThrow(); }
+
+  TaskGroup(const TaskGroup&) = delete;
+  TaskGroup& operator=(const TaskGroup&) = delete;
+
+  // Submits fn to the pool. If fn throws, the first exception across the
+  // group is captured and every later task sees failed() == true (tasks
+  // poll it to drain their remaining work quickly).
+  void Run(std::function<void()> fn);
+
+  // Runs fn on the calling thread under the same exception capture as
+  // Run() tasks — lets the caller participate in the work it fanned out.
+  void RunInline(const std::function<void()>& fn);
+
+  // Blocks until every task submitted through Run() has finished,
+  // stealing pool work while it waits. Rethrows the first captured
+  // exception (from Run or RunInline tasks) on this thread.
+  void Wait();
+
+  // True once any task in the group has thrown.
+  bool failed() const { return failed_.load(std::memory_order_acquire); }
+
+ private:
+  void RecordException();
+  void WaitNoThrow();
+
+  ThreadPool* pool_;
+  std::mutex mutex_;
+  std::condition_variable done_cv_;
+  int64_t pending_ = 0;  // guarded by mutex_
+  std::exception_ptr first_exception_;  // guarded by mutex_
+  std::atomic<bool> failed_{false};
+};
+
+}  // namespace graphsig::util
+
+#endif  // GRAPHSIG_UTIL_THREAD_POOL_H_

@@ -61,7 +61,11 @@ TEST(ParallelFeaturizationTest, ThreadedMatchesSerial) {
   }
 }
 
-TEST(ParallelFeaturizationTest, GraphSigResultsIdentical) {
+// The acceptance bar for the parallel pipeline: Mine() is bit-identical
+// for every thread count, across every field of every report, in the
+// same order. Exercises parallel FVMine groups, the region-cut cache,
+// per-vector graph-space tasks, and the deterministic merges.
+TEST(ParallelFeaturizationTest, MineBitIdenticalAcrossThreadCounts) {
   data::DatasetOptions options;
   options.size = 60;
   options.seed = 78;
@@ -70,17 +74,40 @@ TEST(ParallelFeaturizationTest, GraphSigResultsIdentical) {
   core::GraphSigConfig config;
   config.cutoff_radius = 3;
   config.min_freq_percent = 2.0;
-  core::GraphSig serial(config);
-  config.num_threads = 4;
-  core::GraphSig threaded(config);
-  auto a = serial.Mine(db);
-  auto b = threaded.Mine(db);
-  ASSERT_EQ(a.subgraphs.size(), b.subgraphs.size());
-  for (size_t i = 0; i < a.subgraphs.size(); ++i) {
-    EXPECT_EQ(a.subgraphs[i].subgraph, b.subgraphs[i].subgraph);
-    EXPECT_EQ(a.subgraphs[i].vector_pvalue, b.subgraphs[i].vector_pvalue);
-    EXPECT_EQ(a.subgraphs[i].db_frequency, b.subgraphs[i].db_frequency);
+  core::GraphSigResult serial = core::GraphSig(config).Mine(db);
+  EXPECT_GT(serial.subgraphs.size(), 0u);
+  for (int threads : {4, 8}) {
+    config.num_threads = threads;
+    core::GraphSigResult threaded = core::GraphSig(config).Mine(db);
+    ASSERT_EQ(serial.subgraphs.size(), threaded.subgraphs.size())
+        << "threads=" << threads;
+    for (size_t i = 0; i < serial.subgraphs.size(); ++i) {
+      const core::SignificantSubgraph& a = serial.subgraphs[i];
+      const core::SignificantSubgraph& b = threaded.subgraphs[i];
+      EXPECT_EQ(a.subgraph, b.subgraph) << "threads=" << threads;
+      EXPECT_EQ(a.vector, b.vector);
+      EXPECT_EQ(a.vector_pvalue, b.vector_pvalue);
+      EXPECT_EQ(a.vector_support, b.vector_support);
+      EXPECT_EQ(a.anchor_label, b.anchor_label);
+      EXPECT_EQ(a.set_size, b.set_size);
+      EXPECT_EQ(a.set_support, b.set_support);
+      EXPECT_EQ(a.db_frequency, b.db_frequency);
+    }
+    EXPECT_EQ(serial.stats.num_vectors, threaded.stats.num_vectors);
+    EXPECT_EQ(serial.stats.num_groups, threaded.stats.num_groups);
+    EXPECT_EQ(serial.stats.num_significant_vectors,
+              threaded.stats.num_significant_vectors);
+    EXPECT_EQ(serial.stats.num_sets_mined, threaded.stats.num_sets_mined);
+    EXPECT_EQ(serial.stats.num_sets_filtered,
+              threaded.stats.num_sets_filtered);
+    EXPECT_EQ(serial.stats.num_region_requests,
+              threaded.stats.num_region_requests);
+    EXPECT_EQ(serial.stats.num_unique_regions,
+              threaded.stats.num_unique_regions);
   }
+  // The cache only pays off if cuts are actually shared across vectors.
+  EXPECT_LT(serial.stats.num_unique_regions,
+            serial.stats.num_region_requests);
 }
 
 TEST(ParallelOaTest, ThreadedGramMatchesSerial) {
