@@ -100,6 +100,11 @@ int main(int argc, char** argv) {
     return 1;
   }
   out << json;
+  out.flush();
+  if (!out) {
+    std::fprintf(stderr, "error: write failed: %s\n", out_path.c_str());
+    return 1;
+  }
   std::printf("\nwrote %s\n", out_path.c_str());
   return 0;
 }

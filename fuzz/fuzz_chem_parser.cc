@@ -1,0 +1,44 @@
+// Fuzz target for the query/chem text parsers — every format a query or
+// dataset file can arrive in: SMILES lines (the graphsig_query default),
+// SD files, and gSpan transaction text. All three take bytes straight
+// from user files/stdin, so each must reject arbitrary input with a
+// util::Status, never a crash or an invariant abort.
+//
+// Accepted SMILES additionally round-trip through WriteSmiles/ParseSmiles
+// (the documented isomorphic-round-trip contract) to catch writer/parser
+// disagreements, not just parser crashes.
+
+#include <cstddef>
+#include <cstdint>
+#include <string_view>
+
+#include "data/molfile.h"
+#include "data/smiles.h"
+#include "graph/io.h"
+#include "util/check.h"
+
+extern "C" int LLVMFuzzerTestOneInput(const uint8_t* data, size_t size) {
+  const std::string_view text(reinterpret_cast<const char*>(data), size);
+
+  auto smiles_db = graphsig::data::ParseSmilesLines(text);
+  if (smiles_db.ok()) {
+    for (const graphsig::graph::Graph& g : smiles_db.value().graphs()) {
+      if (g.num_vertices() == 0) continue;
+      // WriteSmiles requires a connected graph; parsed molecules are.
+      const std::string written = graphsig::data::WriteSmiles(g);
+      auto reparsed = graphsig::data::ParseSmiles(written);
+      GS_CHECK(reparsed.ok());
+      GS_CHECK_EQ(reparsed.value().num_vertices(), g.num_vertices());
+      GS_CHECK_EQ(reparsed.value().num_edges(), g.num_edges());
+    }
+  }
+
+  auto sdf_db = graphsig::data::ParseSdf(text);
+  (void)sdf_db.ok();
+
+  graphsig::graph::LabelDictionary vertex_dict, edge_dict;
+  auto gspan_db =
+      graphsig::graph::ParseGSpanText(text, &vertex_dict, &edge_dict);
+  (void)gspan_db.ok();
+  return 0;
+}

@@ -1,0 +1,45 @@
+// Fuzz target for the graph/database binary codec (src/graph/serialize.h)
+// — the innermost untrusted decoder: model artifacts embed its output, so
+// hostile bytes reach it through every artifact load.
+//
+// Properties checked on every input:
+//   1. Decoding arbitrary bytes never crashes, loops unboundedly, or
+//      trips a Graph invariant GS_CHECK — malformed input must come back
+//      as util::Status.
+//   2. Decode/encode/decode round-trips: anything the decoder accepts
+//      re-encodes to bytes that decode to an operator==-equal database
+//      (the codec's canonical-serialization contract).
+
+#include <cstddef>
+#include <cstdint>
+#include <string_view>
+
+#include "graph/serialize.h"
+#include "util/binary.h"
+#include "util/check.h"
+
+extern "C" int LLVMFuzzerTestOneInput(const uint8_t* data, size_t size) {
+  const std::string_view bytes(reinterpret_cast<const char*>(data), size);
+
+  graphsig::util::ByteReader reader(bytes, "fuzz database");
+  auto db = graphsig::graph::DecodeDatabase(&reader);
+  if (db.ok()) {
+    graphsig::util::ByteWriter writer;
+    graphsig::graph::EncodeDatabase(db.value(), &writer);
+    graphsig::util::ByteReader round(writer.buffer(), "fuzz round-trip");
+    auto again = graphsig::graph::DecodeDatabase(&round);
+    GS_CHECK(again.ok());
+    GS_CHECK_EQ(again.value().size(), db.value().size());
+    for (size_t i = 0; i < db.value().size(); ++i) {
+      GS_CHECK(again.value().graph(i) == db.value().graph(i));
+    }
+  }
+
+  // Exercise the single-graph entry point on the same bytes too: its
+  // framing differs (no count prefix), so it rejects and accepts
+  // different prefixes of the input.
+  graphsig::util::ByteReader graph_reader(bytes, "fuzz graph");
+  auto g = graphsig::graph::DecodeGraph(&graph_reader);
+  (void)g.ok();
+  return 0;
+}

@@ -1,0 +1,124 @@
+// Regenerates the checked-in seed corpora under fuzz/corpus/. Run after
+// a format change so the seeds stay decodable (stale seeds still must
+// not crash, but decodable seeds give the fuzzer real structure to
+// mutate past the CRC/section-table gates):
+//
+//   ./make_seed_corpus <repo-root>/fuzz/corpus
+//
+// Everything here is deterministic (fixed seeds, no clocks), so
+// regenerated corpora are byte-identical and diff cleanly.
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "data/datasets.h"
+#include "data/molfile.h"
+#include "data/smiles.h"
+#include "graph/io.h"
+#include "graph/serialize.h"
+#include "model/artifact.h"
+#include "util/binary.h"
+#include "util/check.h"
+
+namespace {
+
+using graphsig::graph::Graph;
+using graphsig::graph::GraphDatabase;
+
+void WriteFileOrDie(const std::filesystem::path& path,
+                    const std::string& bytes) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  GS_CHECK(out.good());
+  out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+  out.flush();
+  GS_CHECK(out.good());
+  std::printf("wrote %s (%zu bytes)\n", path.c_str(), bytes.size());
+}
+
+GraphDatabase SmallScreen(size_t size, uint64_t seed) {
+  graphsig::data::DatasetOptions options;
+  options.size = size;
+  options.seed = seed;
+  return graphsig::data::MakeAidsLike(options);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc != 2) {
+    std::fprintf(stderr, "usage: %s <corpus-root>\n", argv[0]);
+    return 2;
+  }
+  const std::filesystem::path root(argv[1]);
+  std::filesystem::create_directories(root / "graph_codec");
+  std::filesystem::create_directories(root / "artifact");
+  std::filesystem::create_directories(root / "chem");
+
+  const GraphDatabase db = SmallScreen(6, 1);
+
+  // graph_codec: encoded database + single graph + an empty database.
+  {
+    graphsig::util::ByteWriter w;
+    graphsig::graph::EncodeDatabase(db, &w);
+    WriteFileOrDie(root / "graph_codec" / "db_small.bin", w.buffer());
+  }
+  {
+    graphsig::util::ByteWriter w;
+    graphsig::graph::EncodeGraph(db.graph(0), &w);
+    WriteFileOrDie(root / "graph_codec" / "graph_single.bin", w.buffer());
+  }
+  {
+    graphsig::util::ByteWriter w;
+    graphsig::graph::EncodeDatabase(GraphDatabase(), &w);
+    WriteFileOrDie(root / "graph_codec" / "db_empty.bin", w.buffer());
+  }
+
+  // artifact: a full valid artifact (database + feature space + small
+  // catalog, no classifier) and a minimal empty one. Valid CRCs let the
+  // fuzzer's mutations reach the section decoders.
+  {
+    graphsig::model::ModelArtifact artifact;
+    artifact.database = db;
+    artifact.feature_space =
+        graphsig::features::FeatureSpace::ForChemicalDatabase(db, 4);
+    graphsig::core::SignificantSubgraph sg;
+    sg.subgraph = db.graph(0);
+    sg.vector = {1, 0, 2, 1};
+    sg.vector_pvalue = 0.01;
+    sg.vector_support = 3;
+    sg.anchor_label = db.graph(0).vertex_label(0);
+    sg.set_size = 3;
+    sg.set_support = 2;
+    artifact.catalog.push_back(sg);
+    WriteFileOrDie(root / "artifact" / "artifact_small.gsig",
+                   graphsig::model::EncodeArtifact(artifact));
+  }
+  {
+    WriteFileOrDie(root / "artifact" / "artifact_empty.gsig",
+                   graphsig::model::EncodeArtifact(
+                       graphsig::model::ModelArtifact{}));
+  }
+
+  // chem: one seed per accepted text format, plus edge-case SMILES
+  // exercising brackets, ring closures, branches, and aromatics.
+  WriteFileOrDie(root / "chem" / "lines.smi",
+                 graphsig::data::WriteSmilesLines(db));
+  WriteFileOrDie(root / "chem" / "screen.sdf",
+                 graphsig::data::WriteSdf(db));
+  {
+    std::ostringstream os;
+    graphsig::graph::WriteGSpanText(db, os);
+    WriteFileOrDie(root / "chem" / "screen.gspan", os.str());
+  }
+  WriteFileOrDie(root / "chem" / "tricky.smi",
+                 "c1ccccc1 1 10\n"
+                 "C(=O)N 0 11\n"
+                 "[Na]Cl 1 12\n"
+                 "C1CC1C(C#N)=C2CCC2 0 13\n"
+                 "# comment line\n"
+                 "ClBr(I)F 1 14\n");
+  return 0;
+}

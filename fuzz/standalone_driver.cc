@@ -1,0 +1,66 @@
+// Replay driver linked into the fuzz targets when libFuzzer is
+// unavailable (any non-Clang build). Runs LLVMFuzzerTestOneInput over
+// every file or directory given on the command line — exactly libFuzzer's
+// corpus-replay semantics ("run each input once, crash on violation"),
+// minus the mutation engine. The ctest fuzz_smoke_* tests use this to
+// keep every checked-in corpus input (seeds + frozen crashers) passing on
+// every build, whatever the compiler.
+
+#include <algorithm>
+#include <cstdint>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+extern "C" int LLVMFuzzerTestOneInput(const uint8_t* data, size_t size);
+
+namespace {
+
+bool RunOne(const std::filesystem::path& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    std::fprintf(stderr, "cannot open %s\n", path.c_str());
+    return false;
+  }
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  const std::string bytes = buffer.str();
+  LLVMFuzzerTestOneInput(reinterpret_cast<const uint8_t*>(bytes.data()),
+                         bytes.size());
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    std::fprintf(stderr, "usage: %s <corpus file or dir>...\n", argv[0]);
+    return 2;
+  }
+  int executed = 0;
+  for (int i = 1; i < argc; ++i) {
+    const std::filesystem::path arg(argv[i]);
+    if (std::filesystem::is_directory(arg)) {
+      // Sorted for reproducible replay order.
+      std::vector<std::filesystem::path> files;
+      for (const auto& entry :
+           std::filesystem::recursive_directory_iterator(arg)) {
+        if (entry.is_regular_file()) files.push_back(entry.path());
+      }
+      std::sort(files.begin(), files.end());
+      for (const auto& file : files) {
+        if (!RunOne(file)) return 1;
+        ++executed;
+      }
+    } else {
+      if (!RunOne(arg)) return 1;
+      ++executed;
+    }
+  }
+  std::fprintf(stderr, "replayed %d corpus inputs, no violations\n",
+               executed);
+  return executed > 0 ? 0 : 1;
+}

@@ -1,0 +1,139 @@
+#!/usr/bin/env python3
+"""House lint for the GraphSig tree. No dependencies; CI runs it as a gate.
+
+Rules (each can be waived on one line with a `lint:allow=<rule>` comment):
+
+  raw-mutex     std::mutex / std::condition_variable (and the lock
+                helpers that only work with them) anywhere outside
+                src/util/sync.h. Everything must go through util::Mutex /
+                util::CondVar so the Clang thread-safety analysis sees
+                every lock in the program.
+
+  seeded-rng    rand()/srand()/time() in src/. Library code must draw
+                randomness from util::Rng with an explicit seed and take
+                timestamps from callers; both are load-bearing for
+                reproducible mining runs and the determinism tests.
+
+  raw-printf    printf-family output in src/ (library code). Libraries
+                report through util::Status or util/logging.h so output
+                is capturable and flushed on GS_CHECK failure. Tools,
+                benches, and tests may print freely. The log sink itself
+                (src/util/logging.cc, src/util/check.cc) is allowlisted.
+
+  todo-owner    TODO without an owner. Write TODO(name): so stale TODOs
+                are attributable.
+"""
+
+import re
+import sys
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parent.parent
+SOURCE_DIRS = ["src", "tools", "tests", "bench", "examples", "fuzz"]
+SOURCE_SUFFIXES = {".h", ".cc"}
+
+ALLOW = re.compile(r"lint:allow=([\w-]+)")
+
+# (rule, regex, scope predicate, message)
+RULES = [
+    (
+        "raw-mutex",
+        re.compile(
+            r"std::(mutex|condition_variable|shared_mutex|recursive_mutex"
+            r"|lock_guard|scoped_lock|unique_lock)\b"
+        ),
+        lambda rel: rel != Path("src/util/sync.h"),
+        "use util::Mutex/util::MutexLock/util::CondVar from src/util/sync.h "
+        "(keeps the thread-safety analysis complete)",
+    ),
+    (
+        "seeded-rng",
+        re.compile(r"(?<![\w:])(std::)?(rand|srand|time)\s*\("),
+        lambda rel: rel.parts[0] == "src",
+        "library code must use util::Rng with an explicit seed / take "
+        "timestamps from callers (reproducible runs)",
+    ),
+    (
+        "raw-printf",
+        re.compile(r"(?<![\w:])(std::)?(printf|fprintf|puts|fputs|vprintf"
+                   r"|vfprintf)\s*\("),
+        lambda rel: rel.parts[0] == "src"
+        and rel not in (Path("src/util/logging.cc"), Path("src/util/check.cc")),
+        "library code reports through util::Status or util/logging.h, "
+        "not direct stdio",
+    ),
+    (
+        "todo-owner",
+        re.compile(r"\bTODO\b(?!\()"),
+        lambda rel: True,
+        "write TODO(owner): so stale TODOs are attributable",
+    ),
+]
+
+
+def strip_strings(line: str) -> str:
+    """Blank out string/char literal contents so rules don't fire on them."""
+    out, i, n = [], 0, len(line)
+    while i < n:
+        c = line[i]
+        if c in "\"'":
+            quote = c
+            out.append(c)
+            i += 1
+            while i < n and line[i] != quote:
+                out.append(" " if line[i] != "\\" else " ")
+                i += 2 if line[i] == "\\" else 1
+            if i < n:
+                out.append(quote)
+                i += 1
+        else:
+            out.append(c)
+            i += 1
+    return "".join(out)
+
+
+def lint_file(path: Path) -> list:
+    rel = path.relative_to(REPO)
+    findings = []
+    try:
+        text = path.read_text(encoding="utf-8")
+    except UnicodeDecodeError:
+        return [(rel, 0, "encoding", "source files must be UTF-8")]
+    for lineno, line in enumerate(text.splitlines(), start=1):
+        allowed = set(ALLOW.findall(line))
+        stripped = strip_strings(line)
+        # todo-owner applies to comments too; the others look at code only.
+        code = stripped.split("//", 1)[0]
+        for rule, pattern, in_scope, message in RULES:
+            if rule in allowed or not in_scope(rel):
+                continue
+            haystack = stripped if rule == "todo-owner" else code
+            if pattern.search(haystack):
+                findings.append((rel, lineno, rule, message))
+    return findings
+
+
+def main() -> int:
+    files = []
+    for d in SOURCE_DIRS:
+        root = REPO / d
+        if not root.is_dir():
+            continue
+        files.extend(
+            p for p in sorted(root.rglob("*")) if p.suffix in SOURCE_SUFFIXES
+        )
+    findings = []
+    for path in files:
+        findings.extend(lint_file(path))
+    for rel, lineno, rule, message in findings:
+        print(f"{rel}:{lineno}: [{rule}] {message}")
+    print(
+        f"lint.py: scanned {len(files)} files, "
+        f"{len(findings)} finding(s)",
+        file=sys.stderr,
+    )
+    return 1 if findings else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,5 +1,6 @@
 #include "classify/hungarian.h"
 
+#include <cstddef>
 #include <limits>
 
 #include "util/check.h"

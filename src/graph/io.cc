@@ -207,6 +207,9 @@ util::Status WriteGSpanFile(const GraphDatabase& db, const std::string& path,
   std::ofstream out(path);
   if (!out) return util::Status::IoError("cannot open file: " + path);
   WriteGSpanText(db, out, vertex_dict, edge_dict);
+  // Flush before checking: a short write can sit in the stream buffer
+  // and only fail at close, which the destructor would swallow.
+  out.flush();
   if (!out) return util::Status::IoError("write failed: " + path);
   return util::Status::Ok();
 }

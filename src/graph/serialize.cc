@@ -12,11 +12,12 @@ constexpr size_t kMinVertexBytes = 4;   // one i32 label
 constexpr size_t kMinEdgeBytes = 12;    // u, v, label
 constexpr size_t kMinGraphBytes = 20;   // id + tag + two counts
 
-util::Status CountError(const char* what, uint64_t count,
-                        size_t remaining) {
+util::Status CountError(const util::ByteReader& reader, const char* what,
+                        uint64_t count) {
   return util::Status::ParseError(util::StrPrintf(
-      "implausible %s count %llu for %zu remaining bytes", what,
-      static_cast<unsigned long long>(count), remaining));
+      "implausible %s count %llu in %s at offset %zu (%zu bytes remain)",
+      what, static_cast<unsigned long long>(count),
+      reader.section().c_str(), reader.position(), reader.remaining()));
 }
 
 }  // namespace
@@ -38,50 +39,46 @@ util::Result<Graph> DecodeGraph(util::ByteReader* reader) {
   int64_t id;
   int32_t tag;
   uint32_t num_vertices, num_edges;
-  util::Status s = reader->ReadI64(&id);
-  if (!s.ok()) return s;
-  s = reader->ReadI32(&tag);
-  if (!s.ok()) return s;
-  s = reader->ReadU32(&num_vertices);
-  if (!s.ok()) return s;
+  GS_RETURN_IF_ERROR(reader->ReadI64(&id));
+  GS_RETURN_IF_ERROR(reader->ReadI32(&tag));
+  GS_RETURN_IF_ERROR(reader->ReadU32(&num_vertices));
   if (num_vertices > reader->remaining() / kMinVertexBytes) {
-    return CountError("vertex", num_vertices, reader->remaining());
+    return CountError(*reader, "vertex", num_vertices);
   }
   Graph g(id);
   g.set_tag(tag);
   for (uint32_t i = 0; i < num_vertices; ++i) {
     int32_t label;
-    s = reader->ReadI32(&label);
-    if (!s.ok()) return s;
+    GS_RETURN_IF_ERROR(reader->ReadI32(&label));
     g.AddVertex(label);
   }
-  s = reader->ReadU32(&num_edges);
-  if (!s.ok()) return s;
+  GS_RETURN_IF_ERROR(reader->ReadU32(&num_edges));
   if (num_edges > reader->remaining() / kMinEdgeBytes) {
-    return CountError("edge", num_edges, reader->remaining());
+    return CountError(*reader, "edge", num_edges);
   }
   for (uint32_t i = 0; i < num_edges; ++i) {
     int32_t u, v, label;
-    s = reader->ReadI32(&u);
-    if (!s.ok()) return s;
-    s = reader->ReadI32(&v);
-    if (!s.ok()) return s;
-    s = reader->ReadI32(&label);
-    if (!s.ok()) return s;
+    GS_RETURN_IF_ERROR(reader->ReadI32(&u));
+    GS_RETURN_IF_ERROR(reader->ReadI32(&v));
+    GS_RETURN_IF_ERROR(reader->ReadI32(&label));
     // Validate here: Graph::AddEdge treats violations as programmer
     // errors and aborts, but in a decoder they are data conditions.
     if (u < 0 || v < 0 || u >= g.num_vertices() || v >= g.num_vertices()) {
       return util::Status::ParseError(util::StrPrintf(
-          "edge (%d, %d) out of range for %d vertices", u, v,
-          g.num_vertices()));
+          "edge (%d, %d) out of range for %d vertices in %s at offset "
+          "%zu",
+          u, v, g.num_vertices(), reader->section().c_str(),
+          reader->position()));
     }
     if (u == v) {
-      return util::Status::ParseError(
-          util::StrPrintf("self-loop on vertex %d", u));
+      return util::Status::ParseError(util::StrPrintf(
+          "self-loop on vertex %d in %s at offset %zu", u,
+          reader->section().c_str(), reader->position()));
     }
     if (g.HasEdge(u, v)) {
-      return util::Status::ParseError(
-          util::StrPrintf("duplicate edge (%d, %d)", u, v));
+      return util::Status::ParseError(util::StrPrintf(
+          "duplicate edge (%d, %d) in %s at offset %zu", u, v,
+          reader->section().c_str(), reader->position()));
     }
     g.AddEdge(u, v, label);
   }
@@ -95,17 +92,15 @@ void EncodeDatabase(const GraphDatabase& db, util::ByteWriter* writer) {
 
 util::Result<GraphDatabase> DecodeDatabase(util::ByteReader* reader) {
   uint64_t count;
-  util::Status s = reader->ReadU64(&count);
-  if (!s.ok()) return s;
+  GS_RETURN_IF_ERROR(reader->ReadU64(&count));
   if (count > reader->remaining() / kMinGraphBytes) {
-    return CountError("graph", count, reader->remaining());
+    return CountError(*reader, "graph", count);
   }
   GraphDatabase db;
   db.Reserve(static_cast<size_t>(count));
   for (uint64_t i = 0; i < count; ++i) {
-    auto g = DecodeGraph(reader);
-    if (!g.ok()) return g.status();
-    db.Add(std::move(g).value());
+    GS_ASSIGN_OR_RETURN(Graph g, DecodeGraph(reader));
+    db.Add(std::move(g));
   }
   return db;
 }

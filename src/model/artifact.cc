@@ -28,12 +28,6 @@ constexpr size_t kHeaderSize = kMagicSize + 4 + 4;
 constexpr size_t kTableEntrySize = 4 + 8 + 8;
 constexpr size_t kChecksumSize = 4;
 
-#define GS_RETURN_IF_ERROR(expr)              \
-  do {                                        \
-    ::graphsig::util::Status _gs_s = (expr);  \
-    if (!_gs_s.ok()) return _gs_s;            \
-  } while (0)
-
 // --- field codecs -----------------------------------------------------
 
 void EncodeFeatureVec(const features::FeatureVec& vec, ByteWriter* w) {
@@ -130,9 +124,7 @@ Status DecodeCatalog(ByteReader* r,
   out->reserve(static_cast<size_t>(count));
   for (uint64_t i = 0; i < count; ++i) {
     core::SignificantSubgraph sg;
-    auto g = graph::DecodeGraph(r);
-    if (!g.ok()) return g.status();
-    sg.subgraph = std::move(g).value();
+    GS_ASSIGN_OR_RETURN(sg.subgraph, graph::DecodeGraph(r));
     GS_RETURN_IF_ERROR(DecodeFeatureVec(r, &sg.vector));
     GS_RETURN_IF_ERROR(r->ReadF64(&sg.vector_pvalue));
     GS_RETURN_IF_ERROR(r->ReadI64(&sg.vector_support));
@@ -219,14 +211,28 @@ Status DecodeClassifier(ByteReader* r, classify::SigKnnModel* out) {
   return Status::Ok();
 }
 
+const char* SectionName(uint32_t id) {
+  switch (id) {
+    case kSectionDatabase:
+      return "database section";
+    case kSectionFeatureSpace:
+      return "feature-space section";
+    case kSectionCatalog:
+      return "catalog section";
+    case kSectionClassifier:
+      return "classifier section";
+    default:
+      return "unknown section";
+  }
+}
+
 Status DecodeSection(uint32_t id, std::string_view payload,
                      ModelArtifact* artifact) {
-  ByteReader reader(payload);
+  ByteReader reader(payload, SectionName(id));
   switch (id) {
     case kSectionDatabase: {
-      auto db = graph::DecodeDatabase(&reader);
-      if (!db.ok()) return db.status();
-      artifact->database = std::move(db).value();
+      GS_ASSIGN_OR_RETURN(artifact->database,
+                          graph::DecodeDatabase(&reader));
       break;
     }
     case kSectionFeatureSpace:
@@ -245,7 +251,8 @@ Status DecodeSection(uint32_t id, std::string_view payload,
   }
   if (!reader.exhausted()) {
     return Status::ParseError(util::StrPrintf(
-        "section %u has %zu trailing bytes", id, reader.remaining()));
+        "%s has %zu trailing bytes at offset %zu", SectionName(id),
+        reader.remaining(), reader.position()));
   }
   return Status::Ok();
 }
@@ -307,7 +314,7 @@ Result<ModelArtifact> DecodeArtifact(std::string_view bytes) {
   // Integrity first: a checksum mismatch means nothing else in the file
   // can be trusted, including the version and section table.
   const std::string_view body = bytes.substr(0, bytes.size() - kChecksumSize);
-  ByteReader tail(bytes.substr(bytes.size() - kChecksumSize));
+  ByteReader tail(bytes.substr(bytes.size() - kChecksumSize), "checksum");
   uint32_t stored_crc = 0;
   GS_RETURN_IF_ERROR(tail.ReadU32(&stored_crc));
   const uint32_t actual_crc = util::Crc32(body);
@@ -317,7 +324,7 @@ Result<ModelArtifact> DecodeArtifact(std::string_view bytes) {
         "truncated artifact)", stored_crc, actual_crc));
   }
 
-  ByteReader reader(body);
+  ByteReader reader(body, "header");
   GS_RETURN_IF_ERROR(reader.Seek(kMagicSize));
   uint32_t version = 0, section_count = 0;
   GS_RETURN_IF_ERROR(reader.ReadU32(&version));
@@ -335,6 +342,7 @@ Result<ModelArtifact> DecodeArtifact(std::string_view bytes) {
   }
 
   ModelArtifact artifact;
+  reader.set_section("section table");
   for (uint32_t i = 0; i < section_count; ++i) {
     uint32_t id = 0;
     uint64_t offset = 0, size = 0;
@@ -363,6 +371,9 @@ Status SaveArtifact(const ModelArtifact& artifact, const std::string& path) {
   std::ofstream out(path, std::ios::binary | std::ios::trunc);
   if (!out) return Status::IoError("cannot open for writing: " + path);
   out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+  // Flush before checking: a short write can sit in the stream buffer
+  // and only fail at close, which the destructor would swallow.
+  out.flush();
   if (!out) return Status::IoError("write failed: " + path);
   return Status::Ok();
 }

@@ -172,7 +172,29 @@ QueryResult PatternCatalog::Query(const graph::Graph& query,
     result.has_score = true;
   }
   result.latency_ms = timer.ElapsedMillis();
+  {
+    util::MutexLock lock(&counters_->mutex);
+    ServingStats& stats = counters_->stats;
+    ++stats.queries;
+    stats.total_latency_ms += result.latency_ms;
+    stats.max_latency_ms = std::max(stats.max_latency_ms,
+                                    result.latency_ms);
+    stats.iso_calls += result.iso_calls;
+    stats.pruned += result.pruned;
+    stats.pattern_matches +=
+        static_cast<int64_t>(result.matched_patterns.size());
+  }
   return result;
+}
+
+ServingStats PatternCatalog::stats() const {
+  util::MutexLock lock(&counters_->mutex);
+  return counters_->stats;
+}
+
+void PatternCatalog::ResetStats() {
+  util::MutexLock lock(&counters_->mutex);
+  counters_->stats = ServingStats{};
 }
 
 std::vector<QueryResult> PatternCatalog::QueryBatch(

@@ -20,6 +20,7 @@
 
 #include <cstdint>
 #include <map>
+#include <memory>
 #include <tuple>
 #include <vector>
 
@@ -27,6 +28,7 @@
 #include "graph/graph.h"
 #include "model/artifact.h"
 #include "util/status.h"
+#include "util/sync.h"
 
 namespace graphsig::serve {
 
@@ -70,6 +72,23 @@ struct LatencySummary {
 LatencySummary SummarizeLatencies(std::vector<double> latencies_ms,
                                   double wall_seconds);
 
+// Cumulative serving telemetry across every Query()/QueryBatch() call on
+// one catalog — the counters a long-lived server exports. Snapshot via
+// PatternCatalog::stats().
+struct ServingStats {
+  int64_t queries = 0;
+  double total_latency_ms = 0.0;
+  double max_latency_ms = 0.0;
+  int64_t iso_calls = 0;
+  int64_t pruned = 0;
+  int64_t pattern_matches = 0;
+
+  double mean_latency_ms() const {
+    return queries > 0 ? total_latency_ms / static_cast<double>(queries)
+                       : 0.0;
+  }
+};
+
 class PatternCatalog {
  public:
   // Builds the serving indexes from a loaded artifact (moves it in).
@@ -92,6 +111,11 @@ class PatternCatalog {
   std::vector<QueryResult> QueryBatch(
       const std::vector<graph::Graph>& queries,
       const CatalogQueryConfig& config = {}) const;
+
+  // Snapshot of the cumulative counters. Thread-safe: QueryBatch workers
+  // aggregate into the same Mutex-guarded counters this reads.
+  ServingStats stats() const;
+  void ResetStats();
 
   size_t num_patterns() const { return artifact_.catalog.size(); }
   bool has_classifier() const { return !artifact_.classifier.empty(); }
@@ -136,12 +160,20 @@ class PatternCatalog {
   static bool SignatureDominated(const PatternSignature& pattern,
                                  const QueryProfile& query);
 
+  // Heap-allocated so PatternCatalog stays movable (util::Mutex is not);
+  // concurrent QueryBatch workers all aggregate into this one object.
+  struct Counters {
+    mutable util::Mutex mutex;
+    ServingStats stats GS_GUARDED_BY(mutex);
+  };
+
   model::ModelArtifact artifact_;
   classify::GraphSigClassifier classifier_;
   std::vector<PatternSignature> signatures_;
   // Inverted index: anchor label (the pattern's rarest vertex label in
   // the indexed database) -> catalog indices, ascending.
   std::map<graph::Label, std::vector<int32_t>> patterns_by_anchor_;
+  std::shared_ptr<Counters> counters_ = std::make_shared<Counters>();
 };
 
 }  // namespace graphsig::serve

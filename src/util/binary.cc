@@ -76,8 +76,8 @@ void ByteWriter::PatchU64(size_t offset, uint64_t v) {
 Status ByteReader::Take(size_t n, const char** out) {
   if (n > remaining()) {
     return Status::OutOfRange(StrPrintf(
-        "truncated input: need %zu bytes at offset %zu, have %zu", n, pos_,
-        remaining()));
+        "truncated read in %s at offset %zu: need %zu bytes, have %zu",
+        section_.c_str(), pos_, n, remaining()));
   }
   *out = data_.data() + pos_;
   pos_ += n;
@@ -155,8 +155,10 @@ Status ByteReader::ReadString(std::string* out) {
   if (length > remaining()) {
     pos_ -= 8;  // leave the cursor where the caller can diagnose it
     return Status::OutOfRange(StrPrintf(
-        "truncated string: declared %llu bytes, have %zu",
-        static_cast<unsigned long long>(length), remaining()));
+        "truncated string in %s at offset %zu: declared %llu bytes, "
+        "have %zu",
+        section_.c_str(), pos_, static_cast<unsigned long long>(length),
+        remaining() - 8));
   }
   const char* p;
   s = Take(static_cast<size_t>(length), &p);
@@ -167,8 +169,9 @@ Status ByteReader::ReadString(std::string* out) {
 
 Status ByteReader::Seek(size_t pos) {
   if (pos > data_.size()) {
-    return Status::OutOfRange(
-        StrPrintf("seek to %zu past end %zu", pos, data_.size()));
+    return Status::OutOfRange(StrPrintf(
+        "seek in %s to offset %zu past end %zu", section_.c_str(), pos,
+        data_.size()));
   }
   pos_ = pos;
   return Status::Ok();

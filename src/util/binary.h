@@ -50,10 +50,20 @@ class ByteWriter {
 
 // Consumes little-endian fields from a byte view. Never reads past the
 // end: each accessor returns a Status and leaves the cursor unchanged
-// on failure.
+// on failure. Every failure message names the section being decoded
+// (set_section) and the byte offset of the failed read, so a corrupt
+// artifact reports "truncated read in catalog at offset 132: ..."
+// instead of a bare bounds error.
 class ByteReader {
  public:
-  explicit ByteReader(std::string_view data) : data_(data) {}
+  explicit ByteReader(std::string_view data,
+                      std::string section = "input")
+      : data_(data), section_(std::move(section)) {}
+
+  // Labels subsequent error messages; decoders set this as they move
+  // between logical sections of one buffer.
+  void set_section(std::string section) { section_ = std::move(section); }
+  const std::string& section() const { return section_; }
 
   Status ReadU8(uint8_t* out);
   Status ReadU16(uint16_t* out);
@@ -76,6 +86,7 @@ class ByteReader {
   Status Take(size_t n, const char** out);
 
   std::string_view data_;
+  std::string section_;
   size_t pos_ = 0;
 };
 

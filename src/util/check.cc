@@ -1,0 +1,24 @@
+#include "util/check.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "util/logging.h"
+#include "util/strings.h"
+
+namespace graphsig::util::internal {
+
+void CheckFailed(const char* file, int line, const char* expr) {
+  // Through the log sink first (so a redirected sink captures it), then
+  // to stderr unconditionally in case the sink points elsewhere, then
+  // flush both — abort() must not eat the diagnostic.
+  const std::string message =
+      StrPrintf("GS_CHECK failed at %s:%d: %s", file, line, expr);
+  Log(LogLevel::kError, message);
+  std::fprintf(stderr, "%s\n", message.c_str());
+  FlushLogs();
+  std::fflush(stderr);
+  std::abort();
+}
+
+}  // namespace graphsig::util::internal

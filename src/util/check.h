@@ -1,20 +1,16 @@
 #ifndef GRAPHSIG_UTIL_CHECK_H_
 #define GRAPHSIG_UTIL_CHECK_H_
 
-#include <cstdio>
-#include <cstdlib>
-
 // Invariant checks. These abort on failure; they guard programmer errors,
 // not recoverable conditions (use util::Status for those). Enabled in all
 // build types: the library's correctness claims depend on them.
 
 namespace graphsig::util::internal {
 
-[[noreturn]] inline void CheckFailed(const char* file, int line,
-                                     const char* expr) {
-  std::fprintf(stderr, "GS_CHECK failed at %s:%d: %s\n", file, line, expr);
-  std::abort();
-}
+// Out of line (util/check.cc) so the failure path can route the message
+// through the log sink and flush it before aborting — diagnostics from a
+// worker thread in a parallel test must not die in a stdio buffer.
+[[noreturn]] void CheckFailed(const char* file, int line, const char* expr);
 
 }  // namespace graphsig::util::internal
 

@@ -3,10 +3,26 @@
 #include <atomic>
 #include <cstdio>
 
+#include "util/sync.h"
+
 namespace graphsig::util {
 namespace {
 
 std::atomic<int> g_min_level{static_cast<int>(LogLevel::kInfo)};
+
+// The sink serializes record emission and target swaps. stdio already
+// locks per call, but the explicit annotated mutex (a) makes the
+// target pointer itself safe to swap while workers log and (b) lets the
+// thread-safety analysis check the discipline at compile time.
+struct LogSink {
+  Mutex mutex;
+  std::FILE* target GS_GUARDED_BY(mutex) = nullptr;  // nullptr = stderr
+};
+
+LogSink& Sink() {
+  static LogSink sink;
+  return sink;
+}
 
 const char* LevelName(LogLevel level) {
   switch (level) {
@@ -32,14 +48,20 @@ LogLevel GetLogLevel() {
   return static_cast<LogLevel>(g_min_level.load(std::memory_order_relaxed));
 }
 
+void SetLogTarget(std::FILE* target) {
+  LogSink& sink = Sink();
+  MutexLock lock(&sink.mutex);
+  sink.target = target;
+}
+
 void Log(LogLevel level, const std::string& message) {
   if (static_cast<int>(level) <
       g_min_level.load(std::memory_order_relaxed)) {
     return;
   }
-  // Pre-format the whole record and emit it with a single stdio call:
-  // stdio locks the stream per call, so concurrent ParallelFor workers
-  // cannot interleave one record inside another.
+  // Pre-format the whole record outside the lock, then emit it with a
+  // single stdio call under the sink mutex, so concurrent ParallelFor
+  // workers cannot interleave one record inside another.
   std::string line;
   line.reserve(message.size() + 16);
   line += '[';
@@ -47,7 +69,15 @@ void Log(LogLevel level, const std::string& message) {
   line += "] ";
   line += message;
   line += '\n';
-  std::fputs(line.c_str(), stderr);
+  LogSink& sink = Sink();
+  MutexLock lock(&sink.mutex);
+  std::fputs(line.c_str(), sink.target != nullptr ? sink.target : stderr);
+}
+
+void FlushLogs() {
+  LogSink& sink = Sink();
+  MutexLock lock(&sink.mutex);
+  std::fflush(sink.target != nullptr ? sink.target : stderr);
 }
 
 void LogDebug(const std::string& message) { Log(LogLevel::kDebug, message); }

@@ -1,6 +1,7 @@
 #ifndef GRAPHSIG_UTIL_LOGGING_H_
 #define GRAPHSIG_UTIL_LOGGING_H_
 
+#include <cstdio>
 #include <string>
 
 namespace graphsig::util {
@@ -12,8 +13,19 @@ enum class LogLevel { kDebug = 0, kInfo = 1, kWarning = 2, kError = 3 };
 void SetLogLevel(LogLevel level);
 LogLevel GetLogLevel();
 
-// Writes "[LEVEL] message" to stderr if `level` passes the filter.
+// Redirects log output (default: stderr). `target` must stay valid until
+// the next SetLogTarget call; pass nullptr to restore stderr. Used by
+// tests that assert on emitted records.
+void SetLogTarget(std::FILE* target);
+
+// Writes "[LEVEL] message" to the log target if `level` passes the
+// filter. Thread-safe: each record is emitted atomically.
 void Log(LogLevel level, const std::string& message);
+
+// Flushes the log target. GS_CHECK calls this before aborting so records
+// buffered by stdio (e.g. when the target is a file) survive the crash;
+// parallel-test diagnostics depend on it.
+void FlushLogs();
 
 void LogDebug(const std::string& message);
 void LogInfo(const std::string& message);

@@ -1,6 +1,7 @@
 #ifndef GRAPHSIG_UTIL_RNG_H_
 #define GRAPHSIG_UTIL_RNG_H_
 
+#include <cstddef>
 #include <cstdint>
 #include <vector>
 

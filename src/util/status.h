@@ -25,7 +25,12 @@ const char* StatusCodeName(StatusCode code);
 // Lightweight success-or-error value used by all recoverable operations in
 // the library (parsing, file I/O, user-supplied configuration). Invariant
 // violations use GS_CHECK instead; exceptions never cross public APIs.
-class Status {
+//
+// The class is [[nodiscard]]: any call that produces a Status and drops
+// it on the floor is a compile error under -Werror=unused-result (on by
+// default, see the root CMakeLists). Callers that genuinely cannot act
+// on a failure spell that out with a cast to void and a comment.
+class [[nodiscard]] Status {
  public:
   // Success.
   Status() : code_(StatusCode::kOk) {}
@@ -67,9 +72,10 @@ class Status {
   std::string message_;
 };
 
-// A Status plus a value of type T on success.
+// A Status plus a value of type T on success. [[nodiscard]] for the same
+// reason as Status: a dropped Result is a dropped error.
 template <typename T>
-class Result {
+class [[nodiscard]] Result {
  public:
   // Implicit construction from a value (success) and from a Status (error)
   // keeps call sites terse: `return value;` / `return Status::...;`.
@@ -89,5 +95,28 @@ class Result {
 };
 
 }  // namespace graphsig::util
+
+// Propagates a failed Status to the caller. `expr` is evaluated once.
+//
+//   GS_RETURN_IF_ERROR(reader->ReadU32(&count));
+#define GS_RETURN_IF_ERROR(expr)                      \
+  do {                                                \
+    ::graphsig::util::Status gs_status_ = (expr);     \
+    if (!gs_status_.ok()) return gs_status_;          \
+  } while (0)
+
+#define GS_INTERNAL_CONCAT2(a, b) a##b
+#define GS_INTERNAL_CONCAT(a, b) GS_INTERNAL_CONCAT2(a, b)
+
+// Unwraps a Result<T> into `lhs` or propagates its Status. `lhs` may be
+// a declaration ("auto db") or an existing lvalue.
+//
+//   GS_ASSIGN_OR_RETURN(auto db, graph::DecodeDatabase(&reader));
+#define GS_ASSIGN_OR_RETURN(lhs, expr)                                  \
+  auto GS_INTERNAL_CONCAT(gs_result_, __LINE__) = (expr);               \
+  if (!GS_INTERNAL_CONCAT(gs_result_, __LINE__).ok()) {                 \
+    return GS_INTERNAL_CONCAT(gs_result_, __LINE__).status();           \
+  }                                                                     \
+  lhs = std::move(GS_INTERNAL_CONCAT(gs_result_, __LINE__)).value()
 
 #endif  // GRAPHSIG_UTIL_STATUS_H_

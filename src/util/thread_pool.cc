@@ -31,10 +31,10 @@ ThreadPool::ThreadPool(int num_threads) {
 
 ThreadPool::~ThreadPool() {
   {
-    std::lock_guard<std::mutex> lock(sleep_mutex_);
+    MutexLock lock(&sleep_mutex_);
     stopping_ = true;
   }
-  sleep_cv_.notify_all();
+  sleep_cv_.NotifyAll();
   for (std::thread& t : workers_) t.join();
 }
 
@@ -54,20 +54,20 @@ void ThreadPool::Submit(std::function<void()> task) {
           : submit_cursor_.fetch_add(1, std::memory_order_relaxed) %
                 deques_.size();
   {
-    std::lock_guard<std::mutex> lock(deques_[index]->mutex);
+    MutexLock lock(&deques_[index]->mutex);
     deques_[index]->tasks.push_back(std::move(task));
   }
   queued_.fetch_add(1, std::memory_order_release);
   // Empty critical section: a worker between its queue check and its
   // cv wait holds sleep_mutex_, so this cannot slip past it unseen.
-  { std::lock_guard<std::mutex> lock(sleep_mutex_); }
-  sleep_cv_.notify_one();
+  { MutexLock lock(&sleep_mutex_); }
+  sleep_cv_.NotifyOne();
 }
 
 bool ThreadPool::PopTask(size_t queue_index, bool lifo,
                          std::function<void()>* out) {
   WorkerDeque& dq = *deques_[queue_index];
-  std::lock_guard<std::mutex> lock(dq.mutex);
+  MutexLock lock(&dq.mutex);
   if (dq.tasks.empty()) return false;
   if (lifo) {
     *out = std::move(dq.tasks.back());
@@ -106,18 +106,17 @@ void ThreadPool::WorkerLoop(size_t worker_index) {
   tls_worker_index = worker_index;
   while (true) {
     if (TryRunTask(worker_index)) continue;
-    std::unique_lock<std::mutex> lock(sleep_mutex_);
-    if (stopping_) return;
-    sleep_cv_.wait(lock, [this] {
-      return stopping_ || queued_.load(std::memory_order_acquire) > 0;
-    });
+    MutexLock lock(&sleep_mutex_);
+    while (!stopping_ && queued_.load(std::memory_order_acquire) <= 0) {
+      sleep_cv_.Wait(&sleep_mutex_);
+    }
     if (stopping_) return;
   }
 }
 
 void TaskGroup::Run(std::function<void()> fn) {
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(&mutex_);
     ++pending_;
   }
   pool_->Submit([this, fn = std::move(fn)] {
@@ -126,8 +125,8 @@ void TaskGroup::Run(std::function<void()> fn) {
     } catch (...) {
       RecordException();
     }
-    std::lock_guard<std::mutex> lock(mutex_);
-    if (--pending_ == 0) done_cv_.notify_all();
+    MutexLock lock(&mutex_);
+    if (--pending_ == 0) done_cv_.NotifyAll();
   });
 }
 
@@ -140,7 +139,7 @@ void TaskGroup::RunInline(const std::function<void()>& fn) {
 }
 
 void TaskGroup::RecordException() {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(&mutex_);
   if (first_exception_ == nullptr) {
     first_exception_ = std::current_exception();
   }
@@ -150,7 +149,7 @@ void TaskGroup::RecordException() {
 void TaskGroup::WaitNoThrow() {
   while (true) {
     {
-      std::lock_guard<std::mutex> lock(mutex_);
+      MutexLock lock(&mutex_);
       if (pending_ == 0) return;
     }
     // Help instead of idling — this is what makes nested ParallelFor
@@ -159,17 +158,18 @@ void TaskGroup::WaitNoThrow() {
     if (pool_->RunOneTask()) continue;
     // Nothing stealable: our remaining tasks are mid-flight on other
     // threads. The timed wait covers the benign race where the last
-    // task finishes between the pending check and this wait.
-    std::unique_lock<std::mutex> lock(mutex_);
-    done_cv_.wait_for(lock, std::chrono::milliseconds(1),
-                      [this] { return pending_ == 0; });
+    // task finishes between the pending check and this wait; the outer
+    // loop re-checks pending_, so spurious wakeups only spin once.
+    MutexLock lock(&mutex_);
+    if (pending_ == 0) return;
+    done_cv_.WaitFor(&mutex_, std::chrono::milliseconds(1));
     if (pending_ == 0) return;
   }
 }
 
 void TaskGroup::Wait() {
   WaitNoThrow();
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(&mutex_);
   if (first_exception_ != nullptr) {
     std::exception_ptr e = first_exception_;
     first_exception_ = nullptr;

@@ -2,16 +2,16 @@
 #define GRAPHSIG_UTIL_THREAD_POOL_H_
 
 #include <atomic>
-#include <condition_variable>
 #include <cstddef>
 #include <cstdint>
 #include <deque>
 #include <exception>
 #include <functional>
 #include <memory>
-#include <mutex>
 #include <thread>
 #include <vector>
+
+#include "util/sync.h"
 
 namespace graphsig::util {
 
@@ -61,8 +61,8 @@ class ThreadPool {
 
  private:
   struct WorkerDeque {
-    std::mutex mutex;
-    std::deque<std::function<void()>> tasks;
+    Mutex mutex;
+    std::deque<std::function<void()>> tasks GS_GUARDED_BY(mutex);
   };
 
   void WorkerLoop(size_t worker_index);
@@ -73,9 +73,9 @@ class ThreadPool {
   std::vector<std::thread> workers_;
   std::atomic<size_t> submit_cursor_{0};
   std::atomic<int64_t> queued_{0};  // tasks enqueued, not yet dequeued
-  std::mutex sleep_mutex_;
-  std::condition_variable sleep_cv_;
-  bool stopping_ = false;  // guarded by sleep_mutex_
+  Mutex sleep_mutex_;
+  CondVar sleep_cv_;
+  bool stopping_ GS_GUARDED_BY(sleep_mutex_) = false;
 };
 
 // Tracks a batch of tasks submitted to a ThreadPool, propagating the
@@ -112,10 +112,10 @@ class TaskGroup {
   void WaitNoThrow();
 
   ThreadPool* pool_;
-  std::mutex mutex_;
-  std::condition_variable done_cv_;
-  int64_t pending_ = 0;  // guarded by mutex_
-  std::exception_ptr first_exception_;  // guarded by mutex_
+  Mutex mutex_;
+  CondVar done_cv_;
+  int64_t pending_ GS_GUARDED_BY(mutex_) = 0;
+  std::exception_ptr first_exception_ GS_GUARDED_BY(mutex_);
   std::atomic<bool> failed_{false};
 };
 

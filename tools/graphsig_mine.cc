@@ -102,6 +102,11 @@ int main(int argc, char** argv) {
       return 1;
     }
     core::WriteCsv(result, csv);
+    csv.flush();
+    if (!csv) {
+      std::fprintf(stderr, "error: write failed: %s\n", csv_path.c_str());
+      return 1;
+    }
     std::printf("csv written to %s\n", csv_path.c_str());
   }
   return 0;

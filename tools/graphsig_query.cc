@@ -94,12 +94,9 @@ int main(int argc, char** argv) {
   if (!csv_path.empty()) {
     csv = "index,id,tag,score,prediction,num_matches,matched_patterns\n";
   }
-  int64_t total_iso = 0, total_pruned = 0;
   for (size_t i = 0; i < results.size(); ++i) {
     const serve::QueryResult& r = results[i];
     const graph::Graph& g = queries.graph(i);
-    total_iso += r.iso_calls;
-    total_pruned += r.pruned;
     std::string matches;
     for (size_t m = 0; m < r.matched_patterns.size(); ++m) {
       if (m > 0) matches += ';';
@@ -145,15 +142,25 @@ int main(int argc, char** argv) {
                summary.count, summary.wall_seconds, summary.qps,
                summary.p50_ms, summary.p95_ms, summary.max_ms,
                config.num_threads);
+  // Cumulative counters aggregated by the catalog itself (the numbers a
+  // long-lived server would export); for this one-batch tool they cover
+  // exactly the batch above.
+  const serve::ServingStats stats = serving.stats();
   if (config.compute_matches && serving.num_patterns() > 0) {
     const double pruned_pct =
-        100.0 * static_cast<double>(total_pruned) /
-        static_cast<double>(total_iso + total_pruned);
+        100.0 * static_cast<double>(stats.pruned) /
+        static_cast<double>(stats.iso_calls + stats.pruned);
     std::fprintf(stderr,
                  "pattern pruning: %lld isomorphism calls, %lld candidates "
                  "pruned (%.1f%%) by the anchor index and signatures\n",
-                 static_cast<long long>(total_iso),
-                 static_cast<long long>(total_pruned), pruned_pct);
+                 static_cast<long long>(stats.iso_calls),
+                 static_cast<long long>(stats.pruned), pruned_pct);
   }
+  std::fprintf(stderr,
+               "serving counters: %lld queries | mean latency %.3fms | "
+               "max %.3fms | %lld pattern matches\n",
+               static_cast<long long>(stats.queries),
+               stats.mean_latency_ms(), stats.max_latency_ms,
+               static_cast<long long>(stats.pattern_matches));
   return 0;
 }

@@ -84,6 +84,9 @@ inline util::Status WriteFile(const std::string& path,
   std::ofstream out(path);
   if (!out) return util::Status::IoError("cannot open: " + path);
   out << content;
+  // Flush before checking: a short write can sit in the stream buffer
+  // and only fail at close, which the destructor would swallow.
+  out.flush();
   if (!out) return util::Status::IoError("write failed: " + path);
   return util::Status::Ok();
 }
