@@ -20,6 +20,7 @@
 #include "graph/io.h"
 #include "graph/serialize.h"
 #include "model/artifact.h"
+#include "net/wire.h"
 #include "util/binary.h"
 #include "util/check.h"
 
@@ -56,6 +57,7 @@ int main(int argc, char** argv) {
   std::filesystem::create_directories(root / "graph_codec");
   std::filesystem::create_directories(root / "artifact");
   std::filesystem::create_directories(root / "chem");
+  std::filesystem::create_directories(root / "wire");
 
   const GraphDatabase db = SmallScreen(6, 1);
 
@@ -120,5 +122,74 @@ int main(int argc, char** argv) {
                  "C1CC1C(C#N)=C2CCC2 0 13\n"
                  "# comment line\n"
                  "ClBr(I)F 1 14\n");
+
+  // wire: one valid frame per message type (CRC intact so mutations
+  // reach the typed decoders), a back-to-back multi-frame stream, and a
+  // truncated header — the exact shapes fuzz_wire_protocol chunks up.
+  {
+    namespace wire = graphsig::net::wire;
+    wire::QueryRequest query;
+    query.options.compute_score = false;
+    query.query = db.graph(0);
+    WriteFileOrDie(root / "wire" / "query.bin",
+                   wire::EncodeFrame(wire::MessageType::kQuery,
+                                     wire::EncodeQueryRequest(query)));
+    wire::BatchQueryRequest batch;
+    batch.queries = {db.graph(0), db.graph(1), db.graph(2)};
+    WriteFileOrDie(root / "wire" / "batch_query.bin",
+                   wire::EncodeFrame(wire::MessageType::kBatchQuery,
+                                     wire::EncodeBatchQueryRequest(batch)));
+    WriteFileOrDie(root / "wire" / "stats.bin",
+                   wire::EncodeFrame(wire::MessageType::kStats, ""));
+    WriteFileOrDie(root / "wire" / "health.bin",
+                   wire::EncodeFrame(wire::MessageType::kHealth, ""));
+    wire::QueryReply reply;
+    reply.matched_patterns = {0, 3, 17};
+    reply.has_score = true;
+    reply.score = -0.25;
+    reply.iso_calls = 5;
+    reply.pruned = 12;
+    const std::string reply_frame = wire::EncodeFrame(
+        wire::MessageType::kQueryReply, wire::EncodeQueryReply(reply));
+    WriteFileOrDie(root / "wire" / "query_reply.bin", reply_frame);
+    WriteFileOrDie(
+        root / "wire" / "batch_reply.bin",
+        wire::EncodeFrame(wire::MessageType::kBatchQueryReply,
+                          wire::EncodeBatchQueryReply({reply, {}})));
+    wire::StatsReply stats;
+    stats.serving.queries = 42;
+    stats.serving.total_latency_ms = 12.5;
+    stats.requests_served = 42;
+    stats.frames_received = 43;
+    WriteFileOrDie(root / "wire" / "stats_reply.bin",
+                   wire::EncodeFrame(wire::MessageType::kStatsReply,
+                                     wire::EncodeStatsReply(stats)));
+    wire::HealthReply health;
+    health.ok = true;
+    health.num_patterns = 64;
+    health.has_classifier = true;
+    WriteFileOrDie(root / "wire" / "health_reply.bin",
+                   wire::EncodeFrame(wire::MessageType::kHealthReply,
+                                     wire::EncodeHealthReply(health)));
+    wire::ErrorReply error;
+    error.code = graphsig::util::StatusCode::kInvalidArgument;
+    error.message = "bad query";
+    WriteFileOrDie(root / "wire" / "error.bin",
+                   wire::EncodeFrame(wire::MessageType::kError,
+                                     wire::EncodeErrorReply(error)));
+    WriteFileOrDie(root / "wire" / "retry_later.bin",
+                   wire::EncodeFrame(wire::MessageType::kRetryLater, ""));
+    // Pipelined stream: three frames back to back on one "connection".
+    WriteFileOrDie(root / "wire" / "pipelined.bin",
+                   wire::EncodeFrame(wire::MessageType::kHealth, "") +
+                       wire::EncodeFrame(wire::MessageType::kQuery,
+                                         wire::EncodeQueryRequest(query)) +
+                       reply_frame);
+    // Truncated mid-header and mid-payload: must park as needs-more.
+    WriteFileOrDie(root / "wire" / "truncated_header.bin",
+                   reply_frame.substr(0, 9));
+    WriteFileOrDie(root / "wire" / "truncated_payload.bin",
+                   reply_frame.substr(0, reply_frame.size() - 3));
+  }
   return 0;
 }

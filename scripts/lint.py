@@ -22,6 +22,12 @@ Rules (each can be waived on one line with a `lint:allow=<rule>` comment):
 
   todo-owner    TODO without an owner. Write TODO(name): so stale TODOs
                 are attributable.
+
+  raw-socket    socket/epoll syscalls (socket, connect, accept, send,
+                recv, close, epoll_*, eventfd, ...) anywhere outside
+                src/net/. All transport goes through the RAII + Status
+                wrappers in src/net/socket.h so fd ownership, EINTR
+                retries, and SIGPIPE suppression are written once.
 """
 
 import re
@@ -67,6 +73,21 @@ RULES = [
         re.compile(r"\bTODO\b(?!\()"),
         lambda rel: True,
         "write TODO(owner): so stale TODOs are attributable",
+    ),
+    (
+        # `(?<![\w:.>])` keeps method calls (socket.close(), s->connect())
+        # and qualified names out; `::close(` IS caught via the allowlist
+        # exception being src/net/ only.
+        "raw-socket",
+        re.compile(
+            r"(?<![\w.>])(::)?(socket|connect|accept4?|bind|listen|send"
+            r"|sendto|sendmsg|recv|recvfrom|recvmsg|shutdown|close"
+            r"|epoll_create1?|epoll_ctl|epoll_wait|eventfd|setsockopt"
+            r"|getsockopt|getsockname)\s*\("
+        ),
+        lambda rel: rel.parts[:2] != ("src", "net"),
+        "socket/epoll syscalls live in src/net/socket.h wrappers only "
+        "(one place for fd ownership, EINTR, SIGPIPE)",
     ),
 ]
 

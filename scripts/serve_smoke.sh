@@ -1,0 +1,36 @@
+#!/usr/bin/env bash
+# Loopback smoke for the serving pipeline: start graphsig_serve on an
+# ephemeral port, drive a short verified workload with graphsig_loadgen,
+# then SIGTERM the server and require a clean drain. Used by the
+# tool_serve_loadgen ctest and the CI server-smoke job.
+#
+#   serve_smoke.sh <graphsig_serve> <graphsig_loadgen> <model> <workload>
+set -euo pipefail
+
+SERVE_BIN=$1
+LOADGEN_BIN=$2
+MODEL=$3
+WORKLOAD=$4
+
+OUT=$(mktemp)
+ERR=$(mktemp)
+trap 'rm -f "$OUT" "$ERR"; [ -n "${SERVE_PID:-}" ] && kill "$SERVE_PID" 2>/dev/null || true' EXIT
+
+"$SERVE_BIN" --model="$MODEL" --port=0 >"$OUT" 2>"$ERR" &
+SERVE_PID=$!
+
+for _ in $(seq 1 100); do
+  grep -q "listening on" "$OUT" 2>/dev/null && break
+  kill -0 "$SERVE_PID" 2>/dev/null || { cat "$ERR" >&2; exit 1; }
+  sleep 0.1
+done
+PORT=$(sed -n 's/.*listening on [0-9.]*:\([0-9]*\)$/\1/p' "$OUT")
+[ -n "$PORT" ] || { echo "no port scraped from serve output" >&2; exit 1; }
+
+"$LOADGEN_BIN" --port="$PORT" --input="$WORKLOAD" --qps=150 --duration=1 \
+  --connections=2 --seed=7 --verify-model="$MODEL"
+
+kill -TERM "$SERVE_PID"
+wait "$SERVE_PID"
+SERVE_PID=
+grep -q "drained:" "$ERR" || { echo "server did not drain" >&2; cat "$ERR" >&2; exit 1; }

@@ -1,0 +1,270 @@
+#include "net/socket.h"
+
+#include <arpa/inet.h>
+#include <errno.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <string.h>
+#include <sys/socket.h>
+#include <sys/time.h>
+#include <unistd.h>
+
+#include <cmath>
+
+#include "util/strings.h"
+
+namespace graphsig::net {
+
+namespace {
+
+util::Status Errno(const std::string& what) {
+  return util::Status::IoError(
+      util::StrPrintf("%s: %s", what.c_str(), strerror(errno)));
+}
+
+// Numeric IPv4 only (plus the "localhost" alias): the tools serve and
+// bench over loopback; DNS would drag in resolver state we don't need.
+util::Result<in_addr> ParseHost(const std::string& host) {
+  const std::string numeric = host == "localhost" ? "127.0.0.1" : host;
+  in_addr addr{};
+  if (inet_pton(AF_INET, numeric.c_str(), &addr) != 1) {
+    return util::Status::InvalidArgument(
+        "host must be an IPv4 address or \"localhost\": " + host);
+  }
+  return addr;
+}
+
+sockaddr_in MakeAddr(in_addr host, uint16_t port) {
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr = host;
+  addr.sin_port = htons(port);
+  return addr;
+}
+
+}  // namespace
+
+void Socket::Reset(int fd) {
+  if (fd_ >= 0) ::close(fd_);
+  fd_ = fd;
+}
+
+util::Result<Socket> ListenTcp(const std::string& host, uint16_t port,
+                               int backlog) {
+  GS_ASSIGN_OR_RETURN(const in_addr addr, ParseHost(host));
+  Socket sock(::socket(AF_INET, SOCK_STREAM, 0));
+  if (!sock.valid()) return Errno("socket");
+  const int one = 1;
+  if (::setsockopt(sock.fd(), SOL_SOCKET, SO_REUSEADDR, &one,
+                   sizeof(one)) != 0) {
+    return Errno("setsockopt(SO_REUSEADDR)");
+  }
+  const sockaddr_in bind_addr = MakeAddr(addr, port);
+  if (::bind(sock.fd(), reinterpret_cast<const sockaddr*>(&bind_addr),
+             sizeof(bind_addr)) != 0) {
+    return Errno(util::StrPrintf("bind %s:%u", host.c_str(), port));
+  }
+  if (::listen(sock.fd(), backlog) != 0) return Errno("listen");
+  return sock;
+}
+
+util::Result<uint16_t> LocalPort(const Socket& socket) {
+  sockaddr_in addr{};
+  socklen_t len = sizeof(addr);
+  if (::getsockname(socket.fd(), reinterpret_cast<sockaddr*>(&addr),
+                    &len) != 0) {
+    return Errno("getsockname");
+  }
+  return ntohs(addr.sin_port);
+}
+
+util::Result<Socket> ConnectTcp(const std::string& host, uint16_t port,
+                                double timeout_seconds) {
+  GS_ASSIGN_OR_RETURN(const in_addr addr, ParseHost(host));
+  Socket sock(::socket(AF_INET, SOCK_STREAM, 0));
+  if (!sock.valid()) return Errno("socket");
+
+  // Nonblocking connect + poll gives a real connect timeout; blocking
+  // connect can hang for minutes on an unreachable host.
+  GS_RETURN_IF_ERROR(SetNonBlocking(sock.fd(), true));
+  const sockaddr_in peer = MakeAddr(addr, port);
+  int rc = ::connect(sock.fd(), reinterpret_cast<const sockaddr*>(&peer),
+                     sizeof(peer));
+  if (rc != 0 && errno != EINPROGRESS) {
+    if (errno == ECONNREFUSED) {
+      return util::Status::Unavailable(util::StrPrintf(
+          "connection refused by %s:%u", host.c_str(), port));
+    }
+    return Errno(util::StrPrintf("connect %s:%u", host.c_str(), port));
+  }
+  if (rc != 0) {
+    pollfd pfd{sock.fd(), POLLOUT, 0};
+    const int timeout_ms =
+        timeout_seconds <= 0
+            ? -1
+            : static_cast<int>(std::ceil(timeout_seconds * 1000.0));
+    do {
+      rc = ::poll(&pfd, 1, timeout_ms);
+    } while (rc < 0 && errno == EINTR);
+    if (rc < 0) return Errno("poll(connect)");
+    if (rc == 0) {
+      return util::Status::DeadlineExceeded(util::StrPrintf(
+          "connect to %s:%u timed out after %.1fs", host.c_str(), port,
+          timeout_seconds));
+    }
+    int so_error = 0;
+    socklen_t len = sizeof(so_error);
+    if (::getsockopt(sock.fd(), SOL_SOCKET, SO_ERROR, &so_error, &len) !=
+        0) {
+      return Errno("getsockopt(SO_ERROR)");
+    }
+    if (so_error != 0) {
+      if (so_error == ECONNREFUSED) {
+        return util::Status::Unavailable(util::StrPrintf(
+            "connection refused by %s:%u", host.c_str(), port));
+      }
+      return util::Status::IoError(util::StrPrintf(
+          "connect %s:%u: %s", host.c_str(), port, strerror(so_error)));
+    }
+  }
+  GS_RETURN_IF_ERROR(SetNonBlocking(sock.fd(), false));
+  const int one = 1;
+  if (::setsockopt(sock.fd(), IPPROTO_TCP, TCP_NODELAY, &one,
+                   sizeof(one)) != 0) {
+    return Errno("setsockopt(TCP_NODELAY)");
+  }
+  return sock;
+}
+
+util::Result<Socket> AcceptConnection(const Socket& listener,
+                                      bool* would_block) {
+  *would_block = false;
+  int fd;
+  do {
+    fd = ::accept(listener.fd(), nullptr, nullptr);
+  } while (fd < 0 && errno == EINTR);
+  if (fd < 0) {
+    if (errno == EAGAIN || errno == EWOULDBLOCK) {
+      *would_block = true;
+      return Socket();
+    }
+    return Errno("accept");
+  }
+  Socket sock(fd);
+  const int one = 1;
+  if (::setsockopt(sock.fd(), IPPROTO_TCP, TCP_NODELAY, &one,
+                   sizeof(one)) != 0) {
+    return Errno("setsockopt(TCP_NODELAY)");
+  }
+  return sock;
+}
+
+util::Status SetNonBlocking(int fd, bool nonblocking) {
+  const int flags = ::fcntl(fd, F_GETFL, 0);
+  if (flags < 0) return Errno("fcntl(F_GETFL)");
+  const int wanted =
+      nonblocking ? (flags | O_NONBLOCK) : (flags & ~O_NONBLOCK);
+  if (::fcntl(fd, F_SETFL, wanted) != 0) return Errno("fcntl(F_SETFL)");
+  return util::Status::Ok();
+}
+
+util::Status SetIoTimeout(int fd, double seconds) {
+  timeval tv{};
+  tv.tv_sec = static_cast<time_t>(seconds);
+  tv.tv_usec = static_cast<suseconds_t>(
+      (seconds - static_cast<double>(tv.tv_sec)) * 1e6);
+  if (::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv)) != 0) {
+    return Errno("setsockopt(SO_RCVTIMEO)");
+  }
+  if (::setsockopt(fd, SOL_SOCKET, SO_SNDTIMEO, &tv, sizeof(tv)) != 0) {
+    return Errno("setsockopt(SO_SNDTIMEO)");
+  }
+  return util::Status::Ok();
+}
+
+util::Status WriteAll(int fd, std::string_view bytes) {
+  while (!bytes.empty()) {
+    const ssize_t n =
+        ::send(fd, bytes.data(), bytes.size(), MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      if (errno == EAGAIN || errno == EWOULDBLOCK) {
+        return util::Status::DeadlineExceeded("send timed out");
+      }
+      if (errno == EPIPE || errno == ECONNRESET) {
+        return util::Status::IoError("connection closed by peer");
+      }
+      return Errno("send");
+    }
+    bytes.remove_prefix(static_cast<size_t>(n));
+  }
+  return util::Status::Ok();
+}
+
+util::Status ReadExact(int fd, size_t n, std::string* out) {
+  const size_t start = out->size();
+  out->resize(start + n);
+  size_t got = 0;
+  while (got < n) {
+    const ssize_t r = ::recv(fd, out->data() + start + got, n - got, 0);
+    if (r < 0) {
+      if (errno == EINTR) continue;
+      out->resize(start + got);
+      if (errno == EAGAIN || errno == EWOULDBLOCK) {
+        return util::Status::DeadlineExceeded("recv timed out");
+      }
+      if (errno == ECONNRESET) {
+        return util::Status::IoError("connection reset by peer");
+      }
+      return Errno("recv");
+    }
+    if (r == 0) {
+      out->resize(start + got);
+      return util::Status::IoError(util::StrPrintf(
+          "connection closed with %zu of %zu bytes read", got, n));
+    }
+    got += static_cast<size_t>(r);
+  }
+  return util::Status::Ok();
+}
+
+IoState ReadSome(int fd, size_t max_bytes, std::string* buf,
+                 util::Status* error) {
+  const size_t start = buf->size();
+  buf->resize(start + max_bytes);
+  ssize_t r;
+  do {
+    r = ::recv(fd, buf->data() + start, max_bytes, 0);
+  } while (r < 0 && errno == EINTR);
+  buf->resize(start + (r > 0 ? static_cast<size_t>(r) : 0));
+  if (r > 0) return IoState::kOk;
+  if (r == 0) return IoState::kEof;
+  if (errno == EAGAIN || errno == EWOULDBLOCK) return IoState::kWouldBlock;
+  *error = Errno("recv");
+  return IoState::kError;
+}
+
+IoState WriteSome(int fd, std::string_view bytes, size_t* written,
+                  util::Status* error) {
+  *written = 0;
+  if (bytes.empty()) return IoState::kOk;
+  ssize_t n;
+  do {
+    n = ::send(fd, bytes.data(), bytes.size(), MSG_NOSIGNAL);
+  } while (n < 0 && errno == EINTR);
+  if (n >= 0) {
+    *written = static_cast<size_t>(n);
+    return IoState::kOk;
+  }
+  if (errno == EAGAIN || errno == EWOULDBLOCK) return IoState::kWouldBlock;
+  if (errno == EPIPE || errno == ECONNRESET) {
+    *error = util::Status::IoError("connection closed by peer");
+    return IoState::kError;
+  }
+  *error = Errno("send");
+  return IoState::kError;
+}
+
+}  // namespace graphsig::net

@@ -1,0 +1,377 @@
+#include "net/wire.h"
+
+#include <utility>
+
+#include "graph/serialize.h"
+#include "util/binary.h"
+#include "util/strings.h"
+
+namespace graphsig::net::wire {
+
+namespace {
+
+// Decoders reject payloads with trailing garbage: a well-formed message
+// consumes its payload exactly, and accepting extra bytes would let two
+// different byte strings decode to the same value (breaking the
+// re-encode round-trip the fuzzer pins).
+util::Status ExpectExhausted(const util::ByteReader& reader) {
+  if (!reader.exhausted()) {
+    return util::Status::ParseError(util::StrPrintf(
+        "%s: %zu trailing bytes after message", reader.section().c_str(),
+        reader.remaining()));
+  }
+  return util::Status::Ok();
+}
+
+void EncodeOptions(const QueryOptions& options, util::ByteWriter* w) {
+  uint8_t flags = 0;
+  if (options.compute_matches) flags |= 1;
+  if (options.compute_score) flags |= 2;
+  w->WriteU8(flags);
+}
+
+util::Result<QueryOptions> DecodeOptions(util::ByteReader* reader) {
+  uint8_t flags = 0;
+  GS_RETURN_IF_ERROR(reader->ReadU8(&flags));
+  if (flags & ~uint8_t{3}) {
+    return util::Status::ParseError(
+        util::StrPrintf("unknown query option bits 0x%02x", flags));
+  }
+  QueryOptions options;
+  options.compute_matches = (flags & 1) != 0;
+  options.compute_score = (flags & 2) != 0;
+  return options;
+}
+
+util::Result<QueryReply> DecodeOneReply(util::ByteReader* reader) {
+  QueryReply reply;
+  uint32_t num_matches = 0;
+  GS_RETURN_IF_ERROR(reader->ReadU32(&num_matches));
+  // Each id costs 4 payload bytes, so a count the buffer cannot back is
+  // rejected before any allocation.
+  if (num_matches > reader->remaining() / 4) {
+    return util::Status::ParseError(util::StrPrintf(
+        "match count %u exceeds remaining payload", num_matches));
+  }
+  reply.matched_patterns.resize(num_matches);
+  for (uint32_t i = 0; i < num_matches; ++i) {
+    GS_RETURN_IF_ERROR(reader->ReadI32(&reply.matched_patterns[i]));
+  }
+  uint8_t has_score = 0;
+  GS_RETURN_IF_ERROR(reader->ReadU8(&has_score));
+  if (has_score > 1) {
+    return util::Status::ParseError("has_score flag must be 0 or 1");
+  }
+  reply.has_score = has_score != 0;
+  GS_RETURN_IF_ERROR(reader->ReadF64(&reply.score));
+  GS_RETURN_IF_ERROR(reader->ReadI32(&reply.iso_calls));
+  GS_RETURN_IF_ERROR(reader->ReadI32(&reply.pruned));
+  return reply;
+}
+
+void EncodeOneReply(const QueryReply& reply, util::ByteWriter* w) {
+  w->WriteU32(static_cast<uint32_t>(reply.matched_patterns.size()));
+  for (int32_t id : reply.matched_patterns) w->WriteI32(id);
+  w->WriteU8(reply.has_score ? 1 : 0);
+  w->WriteF64(reply.score);
+  w->WriteI32(reply.iso_calls);
+  w->WriteI32(reply.pruned);
+}
+
+}  // namespace
+
+const char* MessageTypeName(MessageType type) {
+  switch (type) {
+    case MessageType::kQuery:
+      return "Query";
+    case MessageType::kBatchQuery:
+      return "BatchQuery";
+    case MessageType::kStats:
+      return "Stats";
+    case MessageType::kHealth:
+      return "Health";
+    case MessageType::kQueryReply:
+      return "QueryReply";
+    case MessageType::kBatchQueryReply:
+      return "BatchQueryReply";
+    case MessageType::kStatsReply:
+      return "StatsReply";
+    case MessageType::kHealthReply:
+      return "HealthReply";
+    case MessageType::kError:
+      return "Error";
+    case MessageType::kRetryLater:
+      return "RetryLater";
+  }
+  return "Unknown";
+}
+
+namespace {
+
+bool IsKnownType(uint8_t raw) {
+  switch (static_cast<MessageType>(raw)) {
+    case MessageType::kQuery:
+    case MessageType::kBatchQuery:
+    case MessageType::kStats:
+    case MessageType::kHealth:
+    case MessageType::kQueryReply:
+    case MessageType::kBatchQueryReply:
+    case MessageType::kStatsReply:
+    case MessageType::kHealthReply:
+    case MessageType::kError:
+    case MessageType::kRetryLater:
+      return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+std::string EncodeFrame(MessageType type, std::string_view payload) {
+  util::ByteWriter w;
+  w.WriteU32(kMagic);
+  w.WriteU8(kWireVersion);
+  w.WriteU8(static_cast<uint8_t>(type));
+  w.WriteU16(0);  // reserved
+  w.WriteU32(static_cast<uint32_t>(payload.size()));
+  w.WriteU32(util::Crc32(payload));
+  w.WriteBytes(payload);
+  return std::move(w.TakeBuffer());
+}
+
+util::Result<std::optional<Frame>> FrameDecoder::Next() {
+  // Drop the consumed prefix lazily, once it dominates the buffer, so a
+  // pipelined burst of small frames is not O(n^2) in memmoves.
+  if (consumed_ > 0 && consumed_ * 2 >= buffer_.size()) {
+    buffer_.erase(0, consumed_);
+    consumed_ = 0;
+  }
+  const std::string_view pending =
+      std::string_view(buffer_).substr(consumed_);
+  if (pending.size() < kFrameHeaderBytes) return std::optional<Frame>();
+
+  util::ByteReader reader(pending, "frame header");
+  uint32_t magic = 0;
+  uint8_t version = 0;
+  uint8_t raw_type = 0;
+  uint16_t reserved = 0;
+  uint32_t payload_size = 0;
+  uint32_t payload_crc = 0;
+  GS_RETURN_IF_ERROR(reader.ReadU32(&magic));
+  GS_RETURN_IF_ERROR(reader.ReadU8(&version));
+  GS_RETURN_IF_ERROR(reader.ReadU8(&raw_type));
+  GS_RETURN_IF_ERROR(reader.ReadU16(&reserved));
+  GS_RETURN_IF_ERROR(reader.ReadU32(&payload_size));
+  GS_RETURN_IF_ERROR(reader.ReadU32(&payload_crc));
+  if (magic != kMagic) {
+    return util::Status::ParseError(
+        util::StrPrintf("bad frame magic 0x%08x", magic));
+  }
+  if (version > kWireVersion) {
+    return util::Status::FailedPrecondition(util::StrPrintf(
+        "frame version %u newer than supported %u", version, kWireVersion));
+  }
+  if (reserved != 0) {
+    return util::Status::ParseError(util::StrPrintf(
+        "reserved frame header bits set: 0x%04x", reserved));
+  }
+  if (!IsKnownType(raw_type)) {
+    return util::Status::ParseError(
+        util::StrPrintf("unknown message type %u", raw_type));
+  }
+  if (payload_size > max_payload_bytes_) {
+    return util::Status::OutOfRange(util::StrPrintf(
+        "frame payload of %u bytes exceeds limit %zu", payload_size,
+        max_payload_bytes_));
+  }
+  if (pending.size() - kFrameHeaderBytes < payload_size) {
+    return std::optional<Frame>();  // wait for the rest of the payload
+  }
+  Frame frame;
+  frame.type = static_cast<MessageType>(raw_type);
+  frame.payload.assign(pending.substr(kFrameHeaderBytes, payload_size));
+  if (util::Crc32(frame.payload) != payload_crc) {
+    return util::Status::ParseError(util::StrPrintf(
+        "frame payload CRC mismatch (%s, %u bytes)",
+        MessageTypeName(frame.type), payload_size));
+  }
+  consumed_ += kFrameHeaderBytes + payload_size;
+  return std::optional<Frame>(std::move(frame));
+}
+
+std::string EncodeQueryRequest(const QueryRequest& request) {
+  util::ByteWriter w;
+  EncodeOptions(request.options, &w);
+  graph::EncodeGraph(request.query, &w);
+  return std::move(w.TakeBuffer());
+}
+
+util::Result<QueryRequest> DecodeQueryRequest(std::string_view payload) {
+  util::ByteReader reader(payload, "query request");
+  QueryRequest request;
+  GS_ASSIGN_OR_RETURN(request.options, DecodeOptions(&reader));
+  GS_ASSIGN_OR_RETURN(request.query, graph::DecodeGraph(&reader));
+  GS_RETURN_IF_ERROR(ExpectExhausted(reader));
+  return request;
+}
+
+std::string EncodeBatchQueryRequest(const BatchQueryRequest& request) {
+  util::ByteWriter w;
+  EncodeOptions(request.options, &w);
+  w.WriteU32(static_cast<uint32_t>(request.queries.size()));
+  for (const graph::Graph& g : request.queries) graph::EncodeGraph(g, &w);
+  return std::move(w.TakeBuffer());
+}
+
+util::Result<BatchQueryRequest> DecodeBatchQueryRequest(
+    std::string_view payload) {
+  util::ByteReader reader(payload, "batch query request");
+  BatchQueryRequest request;
+  GS_ASSIGN_OR_RETURN(request.options, DecodeOptions(&reader));
+  uint32_t count = 0;
+  GS_RETURN_IF_ERROR(reader.ReadU32(&count));
+  // No reserve on the announced count: graphs decode one at a time and
+  // a lying count fails on the first missing byte.
+  for (uint32_t i = 0; i < count; ++i) {
+    reader.set_section(util::StrPrintf("batch query graph %u", i));
+    GS_ASSIGN_OR_RETURN(graph::Graph g, graph::DecodeGraph(&reader));
+    request.queries.push_back(std::move(g));
+  }
+  GS_RETURN_IF_ERROR(ExpectExhausted(reader));
+  return request;
+}
+
+std::string EncodeQueryReply(const QueryReply& reply) {
+  util::ByteWriter w;
+  EncodeOneReply(reply, &w);
+  return std::move(w.TakeBuffer());
+}
+
+util::Result<QueryReply> DecodeQueryReply(std::string_view payload) {
+  util::ByteReader reader(payload, "query reply");
+  GS_ASSIGN_OR_RETURN(QueryReply reply, DecodeOneReply(&reader));
+  GS_RETURN_IF_ERROR(ExpectExhausted(reader));
+  return reply;
+}
+
+std::string EncodeBatchQueryReply(const std::vector<QueryReply>& replies) {
+  util::ByteWriter w;
+  w.WriteU32(static_cast<uint32_t>(replies.size()));
+  for (const QueryReply& reply : replies) EncodeOneReply(reply, &w);
+  return std::move(w.TakeBuffer());
+}
+
+util::Result<std::vector<QueryReply>> DecodeBatchQueryReply(
+    std::string_view payload) {
+  util::ByteReader reader(payload, "batch query reply");
+  uint32_t count = 0;
+  GS_RETURN_IF_ERROR(reader.ReadU32(&count));
+  std::vector<QueryReply> replies;
+  for (uint32_t i = 0; i < count; ++i) {
+    reader.set_section(util::StrPrintf("batch reply %u", i));
+    GS_ASSIGN_OR_RETURN(QueryReply reply, DecodeOneReply(&reader));
+    replies.push_back(std::move(reply));
+  }
+  GS_RETURN_IF_ERROR(ExpectExhausted(reader));
+  return replies;
+}
+
+std::string EncodeStatsReply(const StatsReply& reply) {
+  util::ByteWriter w;
+  w.WriteI64(reply.serving.queries);
+  w.WriteF64(reply.serving.total_latency_ms);
+  w.WriteF64(reply.serving.max_latency_ms);
+  w.WriteI64(reply.serving.iso_calls);
+  w.WriteI64(reply.serving.pruned);
+  w.WriteI64(reply.serving.pattern_matches);
+  w.WriteU64(reply.connections_accepted);
+  w.WriteU64(reply.connections_active);
+  w.WriteU64(reply.frames_received);
+  w.WriteU64(reply.requests_served);
+  w.WriteU64(reply.protocol_errors);
+  w.WriteU64(reply.retries_sent);
+  return std::move(w.TakeBuffer());
+}
+
+util::Result<StatsReply> DecodeStatsReply(std::string_view payload) {
+  util::ByteReader reader(payload, "stats reply");
+  StatsReply reply;
+  GS_RETURN_IF_ERROR(reader.ReadI64(&reply.serving.queries));
+  GS_RETURN_IF_ERROR(reader.ReadF64(&reply.serving.total_latency_ms));
+  GS_RETURN_IF_ERROR(reader.ReadF64(&reply.serving.max_latency_ms));
+  GS_RETURN_IF_ERROR(reader.ReadI64(&reply.serving.iso_calls));
+  GS_RETURN_IF_ERROR(reader.ReadI64(&reply.serving.pruned));
+  GS_RETURN_IF_ERROR(reader.ReadI64(&reply.serving.pattern_matches));
+  GS_RETURN_IF_ERROR(reader.ReadU64(&reply.connections_accepted));
+  GS_RETURN_IF_ERROR(reader.ReadU64(&reply.connections_active));
+  GS_RETURN_IF_ERROR(reader.ReadU64(&reply.frames_received));
+  GS_RETURN_IF_ERROR(reader.ReadU64(&reply.requests_served));
+  GS_RETURN_IF_ERROR(reader.ReadU64(&reply.protocol_errors));
+  GS_RETURN_IF_ERROR(reader.ReadU64(&reply.retries_sent));
+  GS_RETURN_IF_ERROR(ExpectExhausted(reader));
+  return reply;
+}
+
+std::string EncodeHealthReply(const HealthReply& reply) {
+  util::ByteWriter w;
+  w.WriteU8(reply.ok ? 1 : 0);
+  w.WriteU8(reply.draining ? 1 : 0);
+  w.WriteU8(reply.wire_version);
+  w.WriteU64(reply.num_patterns);
+  w.WriteU8(reply.has_classifier ? 1 : 0);
+  return std::move(w.TakeBuffer());
+}
+
+util::Result<HealthReply> DecodeHealthReply(std::string_view payload) {
+  util::ByteReader reader(payload, "health reply");
+  HealthReply reply;
+  uint8_t ok = 0, draining = 0, has_classifier = 0;
+  GS_RETURN_IF_ERROR(reader.ReadU8(&ok));
+  GS_RETURN_IF_ERROR(reader.ReadU8(&draining));
+  GS_RETURN_IF_ERROR(reader.ReadU8(&reply.wire_version));
+  GS_RETURN_IF_ERROR(reader.ReadU64(&reply.num_patterns));
+  GS_RETURN_IF_ERROR(reader.ReadU8(&has_classifier));
+  if (ok > 1 || draining > 1 || has_classifier > 1) {
+    return util::Status::ParseError("health flags must be 0 or 1");
+  }
+  reply.ok = ok != 0;
+  reply.draining = draining != 0;
+  reply.has_classifier = has_classifier != 0;
+  GS_RETURN_IF_ERROR(ExpectExhausted(reader));
+  return reply;
+}
+
+std::string EncodeErrorReply(const ErrorReply& reply) {
+  util::ByteWriter w;
+  w.WriteU8(static_cast<uint8_t>(reply.code));
+  w.WriteString(reply.message);
+  return std::move(w.TakeBuffer());
+}
+
+util::Result<ErrorReply> DecodeErrorReply(std::string_view payload) {
+  util::ByteReader reader(payload, "error reply");
+  ErrorReply reply;
+  uint8_t code = 0;
+  GS_RETURN_IF_ERROR(reader.ReadU8(&code));
+  if (code == 0 ||
+      code > static_cast<uint8_t>(util::StatusCode::kDeadlineExceeded)) {
+    return util::Status::ParseError(
+        util::StrPrintf("error reply carries invalid status code %u", code));
+  }
+  reply.code = static_cast<util::StatusCode>(code);
+  GS_RETURN_IF_ERROR(reader.ReadString(&reply.message));
+  GS_RETURN_IF_ERROR(ExpectExhausted(reader));
+  return reply;
+}
+
+QueryReply ReplyFromResult(const serve::QueryResult& result) {
+  QueryReply reply;
+  reply.matched_patterns = result.matched_patterns;
+  reply.has_score = result.has_score;
+  reply.score = result.score;
+  reply.iso_calls = result.iso_calls;
+  reply.pruned = result.pruned;
+  return reply;
+}
+
+}  // namespace graphsig::net::wire

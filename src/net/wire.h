@@ -1,0 +1,201 @@
+#ifndef GRAPHSIG_NET_WIRE_H_
+#define GRAPHSIG_NET_WIRE_H_
+
+// The GraphSig wire protocol: a versioned, length-prefixed binary frame
+// format plus the typed request/response messages the query server
+// speaks. Framing and payload encoding both ride on util/binary
+// (ByteWriter/ByteReader), so every field is little-endian and every
+// decode path reports malformed input as a clean util::Status — these
+// bytes arrive from the network and are fully untrusted
+// (fuzz/fuzz_wire_protocol.cc hammers exactly this surface).
+//
+// Frame layout (header is kFrameHeaderBytes = 16 bytes):
+//
+//   offset 0   u32 magic        0x31575347 ("GSW1" as bytes G S W 1)
+//   offset 4   u8  version      kWireVersion; peers reject newer
+//   offset 5   u8  type         MessageType
+//   offset 6   u16 reserved     must be zero
+//   offset 8   u32 payload size (bounded by the decoder's max)
+//   offset 12  u32 payload CRC-32
+//   offset 16  payload bytes
+//
+// Every reply payload is a pure function of the request and the served
+// catalog — server-side latency is deliberately *not* in QueryReply (it
+// aggregates into the Stats RPC instead), so a reply to the same query
+// against the same artifact is byte-identical across runs, processes,
+// and thread counts. The loopback e2e tests assert this.
+
+#include <cstddef>
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "graph/graph.h"
+#include "serve/pattern_catalog.h"
+#include "util/status.h"
+
+namespace graphsig::net::wire {
+
+inline constexpr uint32_t kMagic = 0x31575347;  // "GSW1"
+inline constexpr uint8_t kWireVersion = 1;
+inline constexpr size_t kFrameHeaderBytes = 16;
+// Default cap on one frame's payload; a header announcing more is a
+// protocol error, not an allocation.
+inline constexpr size_t kDefaultMaxFrameBytes = 16u << 20;
+
+enum class MessageType : uint8_t {
+  // Requests (client -> server).
+  kQuery = 1,
+  kBatchQuery = 2,
+  kStats = 3,
+  kHealth = 4,
+  // Responses (server -> client); request type + 64.
+  kQueryReply = 65,
+  kBatchQueryReply = 66,
+  kStatsReply = 67,
+  kHealthReply = 68,
+  // Error envelope for a request the server could not serve.
+  kError = 96,
+  // Backpressure: the admission queue is full; retry after a pause.
+  // Carries no payload and closes nothing — the connection stays usable.
+  kRetryLater = 97,
+};
+
+// Returns a stable name for logging ("Query", "RetryLater", ...).
+const char* MessageTypeName(MessageType type);
+
+// One decoded frame: the type tag plus its raw payload bytes (already
+// CRC-verified). Typed decoding happens separately so the event loop
+// can hand payloads to worker threads without parsing them first.
+struct Frame {
+  MessageType type = MessageType::kError;
+  std::string payload;
+};
+
+// Serializes a complete frame (header + payload) ready to write to a
+// socket.
+std::string EncodeFrame(MessageType type, std::string_view payload);
+
+// Incremental frame parser for a byte stream. Feed arbitrary chunks
+// with Append(); Next() yields completed frames in order, nullopt when
+// more bytes are needed, and a Status error on any protocol violation
+// (bad magic, unsupported version, nonzero reserved bits, oversized
+// payload, CRC mismatch). Errors are fatal for the stream: the
+// connection that produced them must be closed.
+class FrameDecoder {
+ public:
+  explicit FrameDecoder(size_t max_payload_bytes = kDefaultMaxFrameBytes)
+      : max_payload_bytes_(max_payload_bytes) {}
+
+  void Append(std::string_view bytes) { buffer_.append(bytes); }
+
+  util::Result<std::optional<Frame>> Next();
+
+  // Bytes buffered but not yet consumed by a complete frame.
+  size_t buffered_bytes() const { return buffer_.size() - consumed_; }
+
+ private:
+  size_t max_payload_bytes_;
+  std::string buffer_;
+  size_t consumed_ = 0;  // prefix of buffer_ already handed out
+};
+
+// ---------------------------------------------------------------------
+// Typed messages. Each has an Encode (to payload bytes) and a Decode
+// (payload bytes -> Result). Requests carry the per-query compute
+// flags; replies carry only deterministic fields (see header comment).
+
+struct QueryOptions {
+  bool compute_matches = true;
+  bool compute_score = true;
+
+  bool operator==(const QueryOptions&) const = default;
+};
+
+struct QueryRequest {
+  QueryOptions options;
+  graph::Graph query;
+
+  bool operator==(const QueryRequest&) const = default;
+};
+
+struct BatchQueryRequest {
+  QueryOptions options;
+  std::vector<graph::Graph> queries;
+
+  bool operator==(const BatchQueryRequest&) const = default;
+};
+
+struct QueryReply {
+  std::vector<int32_t> matched_patterns;
+  bool has_score = false;
+  double score = 0.0;
+  int32_t iso_calls = 0;
+  int32_t pruned = 0;
+
+  bool operator==(const QueryReply&) const = default;
+};
+
+// Serving counters over the wire: the catalog's cumulative ServingStats
+// snapshot plus the server's own transport counters.
+struct StatsReply {
+  serve::ServingStats serving;
+  uint64_t connections_accepted = 0;
+  uint64_t connections_active = 0;
+  uint64_t frames_received = 0;
+  uint64_t requests_served = 0;
+  uint64_t protocol_errors = 0;
+  uint64_t retries_sent = 0;
+};
+
+struct HealthReply {
+  bool ok = false;
+  bool draining = false;
+  uint8_t wire_version = kWireVersion;
+  uint64_t num_patterns = 0;
+  bool has_classifier = false;
+
+  bool operator==(const HealthReply&) const = default;
+};
+
+struct ErrorReply {
+  util::StatusCode code = util::StatusCode::kInternal;
+  std::string message;
+
+  bool operator==(const ErrorReply&) const = default;
+  // Reconstructs the Status a failed RPC reported.
+  util::Status ToStatus() const { return {code, message}; }
+};
+
+std::string EncodeQueryRequest(const QueryRequest& request);
+util::Result<QueryRequest> DecodeQueryRequest(std::string_view payload);
+
+std::string EncodeBatchQueryRequest(const BatchQueryRequest& request);
+util::Result<BatchQueryRequest> DecodeBatchQueryRequest(
+    std::string_view payload);
+
+std::string EncodeQueryReply(const QueryReply& reply);
+util::Result<QueryReply> DecodeQueryReply(std::string_view payload);
+
+std::string EncodeBatchQueryReply(const std::vector<QueryReply>& replies);
+util::Result<std::vector<QueryReply>> DecodeBatchQueryReply(
+    std::string_view payload);
+
+std::string EncodeStatsReply(const StatsReply& reply);
+util::Result<StatsReply> DecodeStatsReply(std::string_view payload);
+
+std::string EncodeHealthReply(const HealthReply& reply);
+util::Result<HealthReply> DecodeHealthReply(std::string_view payload);
+
+std::string EncodeErrorReply(const ErrorReply& reply);
+util::Result<ErrorReply> DecodeErrorReply(std::string_view payload);
+
+// Projects a served QueryResult onto the deterministic wire fields
+// (drops latency; see the framing comment above).
+QueryReply ReplyFromResult(const serve::QueryResult& result);
+
+}  // namespace graphsig::net::wire
+
+#endif  // GRAPHSIG_NET_WIRE_H_

@@ -187,7 +187,7 @@ QueryResult PatternCatalog::Query(const graph::Graph& query,
   return result;
 }
 
-ServingStats PatternCatalog::stats() const {
+ServingStats PatternCatalog::Snapshot() const {
   util::MutexLock lock(&counters_->mutex);
   return counters_->stats;
 }

@@ -112,9 +112,13 @@ class PatternCatalog {
       const std::vector<graph::Graph>& queries,
       const CatalogQueryConfig& config = {}) const;
 
-  // Snapshot of the cumulative counters. Thread-safe: QueryBatch workers
-  // aggregate into the same Mutex-guarded counters this reads.
-  ServingStats stats() const;
+  // Atomic snapshot of the cumulative counters: one lock acquisition
+  // copies the whole aggregate set, so a reader interleaving with
+  // concurrent Query() writers can never observe a torn mix (e.g. a new
+  // `queries` count with an old `total_latency_ms`). Both the
+  // graphsig_query exit summary and the server's Stats RPC read through
+  // this.
+  ServingStats Snapshot() const;
   void ResetStats();
 
   size_t num_patterns() const { return artifact_.catalog.size(); }

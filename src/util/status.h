@@ -17,6 +17,12 @@ enum class StatusCode {
   kInternal,
   kIoError,
   kParseError,
+  // The two transient network conditions (src/net/): the peer is
+  // temporarily unable to take the request (backpressure, connection
+  // refused) vs. the request ran out of time. Callers retry the former,
+  // usually give up on the latter.
+  kUnavailable,
+  kDeadlineExceeded,
 };
 
 // Returns a stable human-readable name for `code` ("OK", "ParseError", ...).
@@ -58,6 +64,12 @@ class [[nodiscard]] Status {
   }
   static Status ParseError(std::string msg) {
     return Status(StatusCode::kParseError, std::move(msg));
+  }
+  static Status Unavailable(std::string msg) {
+    return Status(StatusCode::kUnavailable, std::move(msg));
+  }
+  static Status DeadlineExceeded(std::string msg) {
+    return Status(StatusCode::kDeadlineExceeded, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

@@ -1,0 +1,619 @@
+// Wire-protocol and server tests: codec round-trips and decoder
+// rejection cases (Wire*), then the server end to end over a loopback
+// socket (NetServer*) — an in-thread Server on an ephemeral port, real
+// Clients hammering it concurrently, and raw socket writes for the
+// malformed/truncated/oversized attack shapes. The load-bearing
+// property throughout: a reply over the wire is byte-identical to an
+// in-process PatternCatalog::Query against the same artifact.
+//
+// The CI TSan job runs these suites with 8 concurrent clients — in a
+// single-core container, correctness under the race detector is the
+// evidence of thread-safety, not wall-clock speedup.
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+
+#include <optional>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/graphsig.h"
+#include "data/datasets.h"
+#include "model/artifact.h"
+#include "net/client.h"
+#include "net/server.h"
+#include "net/socket.h"
+#include "net/wire.h"
+#include "serve/pattern_catalog.h"
+#include "util/check.h"
+
+namespace graphsig::net {
+namespace {
+
+// ---------------------------------------------------------------------
+// Shared fixture: one small mined artifact + catalog for every test
+// (mining dominates runtime, so pay it once).
+
+struct Fixture {
+  graph::GraphDatabase db;
+  // optional<> because PatternCatalog is only constructible through its
+  // factory (no public default ctor).
+  std::optional<serve::PatternCatalog> catalog;
+};
+
+const Fixture& SharedFixture() {
+  static const Fixture* fixture = [] {
+    auto* f = new Fixture();
+    data::DatasetOptions options;
+    options.size = 40;
+    options.seed = 77;
+    options.active_fraction = 0.3;
+    f->db = data::MakeCancerScreen("MCF-7", options);
+
+    core::GraphSigConfig config;
+    config.cutoff_radius = 3;
+    config.min_freq_percent = 5.0;
+    config.fsm_max_edges = 10;
+    core::GraphSig miner(config);
+    core::GraphSigResult mined = miner.Mine(f->db.FilterByTag(1));
+
+    model::ModelArtifact artifact;
+    artifact.database = f->db;
+    artifact.feature_space = std::move(mined.feature_space);
+    artifact.catalog = std::move(mined.subgraphs);
+    auto catalog = serve::PatternCatalog::FromArtifact(std::move(artifact));
+    GS_CHECK(catalog.ok());
+    f->catalog.emplace(std::move(catalog).value());
+    return f;
+  }();
+  return *fixture;
+}
+
+// The bytes the server must produce for one Query frame: the in-process
+// result projected onto the wire reply. Must mirror ProcessQuery's
+// config exactly (num_threads = 1).
+std::string ExpectedReplyBytes(const graph::Graph& query,
+                               const wire::QueryOptions& options = {}) {
+  serve::CatalogQueryConfig config;
+  config.num_threads = 1;
+  config.compute_matches = options.compute_matches;
+  config.compute_score = options.compute_score;
+  return wire::EncodeQueryReply(
+      wire::ReplyFromResult(SharedFixture().catalog->Query(query, config)));
+}
+
+// Server on an ephemeral loopback port, event loop on its own thread.
+class TestServer {
+ public:
+  explicit TestServer(ServerConfig config = {})
+      : server_(&*SharedFixture().catalog, std::move(config)) {
+    GS_CHECK(server_.Start().ok());
+    thread_ = std::thread([this] { serve_status_ = server_.Serve(); });
+  }
+
+  ~TestServer() { Shutdown(); }
+
+  void Shutdown() {
+    if (thread_.joinable()) {
+      server_.RequestShutdown();
+      thread_.join();
+      EXPECT_TRUE(serve_status_.ok()) << serve_status_.ToString();
+    }
+  }
+
+  uint16_t port() const { return server_.port(); }
+  Server& server() { return server_; }
+
+ private:
+  Server server_;
+  std::thread thread_;
+  util::Status serve_status_;
+};
+
+ClientConfig MakeClientConfig(uint16_t port) {
+  ClientConfig config;
+  config.port = port;
+  config.io_timeout_seconds = 30.0;
+  return config;
+}
+
+// ---------------------------------------------------------------------
+// Wire codec.
+
+TEST(WireFrameTest, RoundTripWholeAndByteAtATime) {
+  const std::string payload = "hello frame payload \x00\x01\x02 bytes";
+  const std::string encoded =
+      wire::EncodeFrame(wire::MessageType::kQueryReply, payload);
+  ASSERT_EQ(encoded.size(), wire::kFrameHeaderBytes + payload.size());
+
+  wire::FrameDecoder whole;
+  whole.Append(encoded);
+  auto frame = whole.Next();
+  ASSERT_TRUE(frame.ok()) << frame.status().ToString();
+  ASSERT_TRUE(frame.value().has_value());
+  EXPECT_EQ(frame.value()->type, wire::MessageType::kQueryReply);
+  EXPECT_EQ(frame.value()->payload, payload);
+  auto drained = whole.Next();
+  ASSERT_TRUE(drained.ok());
+  EXPECT_FALSE(drained.value().has_value());
+
+  // Byte-at-a-time segmentation must produce the identical frame.
+  wire::FrameDecoder dripped;
+  for (size_t i = 0; i < encoded.size(); ++i) {
+    dripped.Append(std::string_view(encoded).substr(i, 1));
+    auto next = dripped.Next();
+    ASSERT_TRUE(next.ok());
+    if (i + 1 < encoded.size()) {
+      EXPECT_FALSE(next.value().has_value());
+    } else {
+      ASSERT_TRUE(next.value().has_value());
+      EXPECT_EQ(next.value()->payload, payload);
+    }
+  }
+}
+
+TEST(WireFrameTest, BackToBackFramesSplitCleanly) {
+  const std::string stream =
+      wire::EncodeFrame(wire::MessageType::kHealth, "") +
+      wire::EncodeFrame(wire::MessageType::kStats, "") +
+      wire::EncodeFrame(wire::MessageType::kRetryLater, "");
+  wire::FrameDecoder decoder;
+  decoder.Append(stream);
+  std::vector<wire::MessageType> types;
+  while (true) {
+    auto next = decoder.Next();
+    ASSERT_TRUE(next.ok());
+    if (!next.value().has_value()) break;
+    types.push_back(next.value()->type);
+  }
+  EXPECT_EQ(types,
+            (std::vector<wire::MessageType>{wire::MessageType::kHealth,
+                                            wire::MessageType::kStats,
+                                            wire::MessageType::kRetryLater}));
+  EXPECT_EQ(decoder.buffered_bytes(), 0u);
+}
+
+TEST(WireFrameTest, RejectsCorruptHeaders) {
+  const std::string good = wire::EncodeFrame(wire::MessageType::kHealth, "ok");
+
+  {  // Bad magic.
+    std::string bad = good;
+    bad[0] ^= 0xFF;
+    wire::FrameDecoder decoder;
+    decoder.Append(bad);
+    EXPECT_FALSE(decoder.Next().ok());
+  }
+  {  // Unsupported version.
+    std::string bad = good;
+    bad[4] = 9;
+    wire::FrameDecoder decoder;
+    decoder.Append(bad);
+    EXPECT_FALSE(decoder.Next().ok());
+  }
+  {  // Unknown message type.
+    std::string bad = good;
+    bad[5] = static_cast<char>(200);
+    wire::FrameDecoder decoder;
+    decoder.Append(bad);
+    EXPECT_FALSE(decoder.Next().ok());
+  }
+  {  // Nonzero reserved bits.
+    std::string bad = good;
+    bad[6] = 1;
+    wire::FrameDecoder decoder;
+    decoder.Append(bad);
+    EXPECT_FALSE(decoder.Next().ok());
+  }
+  {  // Payload corruption flips the CRC check.
+    std::string bad = good;
+    bad[wire::kFrameHeaderBytes] ^= 0x01;
+    wire::FrameDecoder decoder;
+    decoder.Append(bad);
+    EXPECT_FALSE(decoder.Next().ok());
+  }
+}
+
+TEST(WireFrameTest, OversizedAnnouncementIsAnErrorNotAnAllocation) {
+  // Header announcing a payload beyond the decoder's max: rejected as
+  // soon as the header is complete, without waiting for payload bytes.
+  std::string frame = wire::EncodeFrame(wire::MessageType::kQuery,
+                                        std::string(1024, 'x'));
+  wire::FrameDecoder decoder(/*max_payload_bytes=*/512);
+  decoder.Append(frame.substr(0, wire::kFrameHeaderBytes));
+  auto next = decoder.Next();
+  EXPECT_FALSE(next.ok());
+}
+
+TEST(WireFrameTest, TruncatedFrameParksAsNeedsMore) {
+  const std::string encoded =
+      wire::EncodeFrame(wire::MessageType::kHealth, "payload");
+  wire::FrameDecoder decoder;
+  decoder.Append(encoded.substr(0, encoded.size() - 1));
+  auto next = decoder.Next();
+  ASSERT_TRUE(next.ok());
+  EXPECT_FALSE(next.value().has_value());
+  decoder.Append(encoded.substr(encoded.size() - 1));
+  auto completed = decoder.Next();
+  ASSERT_TRUE(completed.ok());
+  ASSERT_TRUE(completed.value().has_value());
+  EXPECT_EQ(completed.value()->payload, "payload");
+}
+
+TEST(WireCodecTest, TypedMessagesRoundTrip) {
+  const Fixture& f = SharedFixture();
+
+  wire::QueryRequest query;
+  query.options.compute_score = false;
+  query.query = f.db.graph(0);
+  auto query_again = wire::DecodeQueryRequest(wire::EncodeQueryRequest(query));
+  ASSERT_TRUE(query_again.ok());
+  EXPECT_TRUE(query_again.value() == query);
+
+  wire::BatchQueryRequest batch;
+  batch.queries = {f.db.graph(0), f.db.graph(1)};
+  auto batch_again =
+      wire::DecodeBatchQueryRequest(wire::EncodeBatchQueryRequest(batch));
+  ASSERT_TRUE(batch_again.ok());
+  EXPECT_TRUE(batch_again.value() == batch);
+
+  wire::QueryReply reply;
+  reply.matched_patterns = {1, 5, 9};
+  reply.has_score = true;
+  reply.score = -0.75;
+  reply.iso_calls = 4;
+  reply.pruned = 11;
+  auto reply_again = wire::DecodeQueryReply(wire::EncodeQueryReply(reply));
+  ASSERT_TRUE(reply_again.ok());
+  EXPECT_TRUE(reply_again.value() == reply);
+
+  auto batch_reply_again =
+      wire::DecodeBatchQueryReply(wire::EncodeBatchQueryReply({reply, {}}));
+  ASSERT_TRUE(batch_reply_again.ok());
+  ASSERT_EQ(batch_reply_again.value().size(), 2u);
+  EXPECT_TRUE(batch_reply_again.value()[0] == reply);
+
+  wire::StatsReply stats;
+  stats.serving.queries = 7;
+  stats.serving.total_latency_ms = 3.25;
+  stats.serving.max_latency_ms = 1.5;
+  stats.serving.iso_calls = 20;
+  stats.serving.pruned = 80;
+  stats.serving.pattern_matches = 13;
+  stats.connections_accepted = 2;
+  stats.frames_received = 9;
+  stats.requests_served = 7;
+  auto stats_again = wire::DecodeStatsReply(wire::EncodeStatsReply(stats));
+  ASSERT_TRUE(stats_again.ok());
+  EXPECT_EQ(stats_again.value().serving.queries, 7);
+  EXPECT_EQ(stats_again.value().serving.total_latency_ms, 3.25);
+  EXPECT_EQ(stats_again.value().frames_received, 9u);
+
+  wire::HealthReply health;
+  health.ok = true;
+  health.draining = true;
+  health.num_patterns = 42;
+  health.has_classifier = true;
+  auto health_again = wire::DecodeHealthReply(wire::EncodeHealthReply(health));
+  ASSERT_TRUE(health_again.ok());
+  EXPECT_TRUE(health_again.value() == health);
+
+  wire::ErrorReply error;
+  error.code = util::StatusCode::kInvalidArgument;
+  error.message = "bad query";
+  auto error_again = wire::DecodeErrorReply(wire::EncodeErrorReply(error));
+  ASSERT_TRUE(error_again.ok());
+  EXPECT_TRUE(error_again.value() == error);
+  EXPECT_EQ(error_again.value().ToStatus().code(),
+            util::StatusCode::kInvalidArgument);
+}
+
+TEST(WireCodecTest, TrailingBytesAreRejected) {
+  wire::QueryReply reply;
+  reply.matched_patterns = {3};
+  std::string payload = wire::EncodeQueryReply(reply);
+  payload.push_back('\0');
+  EXPECT_FALSE(wire::DecodeQueryReply(payload).ok());
+}
+
+// ---------------------------------------------------------------------
+// Loopback end-to-end.
+
+TEST(NetServerTest, ConcurrentClientsMatchInProcessByteForByte) {
+  const Fixture& f = SharedFixture();
+  TestServer server;
+
+  constexpr int kClients = 8;
+  std::vector<std::string> failures(kClients);
+  std::vector<std::thread> threads;
+  threads.reserve(kClients);
+  for (int c = 0; c < kClients; ++c) {
+    threads.emplace_back([&, c] {
+      Client client(MakeClientConfig(server.port()));
+      util::Status connected = client.Connect();
+      if (!connected.ok()) {
+        failures[c] = connected.ToString();
+        return;
+      }
+      // Each client walks the database at a different stride so the
+      // in-flight mix differs across clients.
+      for (size_t i = 0; i < f.db.size(); ++i) {
+        const size_t g = (i * (c + 1)) % f.db.size();
+        auto reply = client.Query(f.db.graph(g));
+        if (!reply.ok()) {
+          failures[c] = reply.status().ToString();
+          return;
+        }
+        if (wire::EncodeQueryReply(reply.value()) !=
+            ExpectedReplyBytes(f.db.graph(g))) {
+          failures[c] = "reply bytes diverge from in-process Query";
+          return;
+        }
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  for (int c = 0; c < kClients; ++c) {
+    EXPECT_EQ(failures[c], "") << "client " << c;
+  }
+}
+
+TEST(NetServerTest, QueryOptionsFlagsReachTheCatalog) {
+  const Fixture& f = SharedFixture();
+  TestServer server;
+  Client client(MakeClientConfig(server.port()));
+  ASSERT_TRUE(client.Connect().ok());
+
+  wire::QueryOptions score_only;
+  score_only.compute_matches = false;
+  auto reply = client.Query(f.db.graph(0), score_only);
+  ASSERT_TRUE(reply.ok()) << reply.status().ToString();
+  EXPECT_TRUE(reply.value().matched_patterns.empty());
+  EXPECT_EQ(wire::EncodeQueryReply(reply.value()),
+            ExpectedReplyBytes(f.db.graph(0), score_only));
+
+  wire::QueryOptions match_only;
+  match_only.compute_score = false;
+  auto matches = client.Query(f.db.graph(0), match_only);
+  ASSERT_TRUE(matches.ok());
+  EXPECT_FALSE(matches.value().has_score);
+  EXPECT_EQ(wire::EncodeQueryReply(matches.value()),
+            ExpectedReplyBytes(f.db.graph(0), match_only));
+}
+
+TEST(NetServerTest, BatchAndPipelineAgreeWithSingles) {
+  const Fixture& f = SharedFixture();
+  TestServer server;
+  Client client(MakeClientConfig(server.port()));
+  ASSERT_TRUE(client.Connect().ok());
+
+  std::vector<graph::Graph> queries;
+  for (size_t g = 0; g < 10 && g < f.db.size(); ++g) {
+    queries.push_back(f.db.graph(g));
+  }
+  auto batched = client.BatchQuery(queries);
+  ASSERT_TRUE(batched.ok()) << batched.status().ToString();
+  auto pipelined = client.PipelineQueries(queries);
+  ASSERT_TRUE(pipelined.ok()) << pipelined.status().ToString();
+  ASSERT_EQ(batched.value().size(), queries.size());
+  ASSERT_EQ(pipelined.value().size(), queries.size());
+  for (size_t i = 0; i < queries.size(); ++i) {
+    const std::string expected = ExpectedReplyBytes(queries[i]);
+    EXPECT_EQ(wire::EncodeQueryReply(batched.value()[i]), expected) << i;
+    EXPECT_EQ(wire::EncodeQueryReply(pipelined.value()[i]), expected) << i;
+  }
+}
+
+TEST(NetServerTest, StatsAndHealthServeInline) {
+  const Fixture& f = SharedFixture();
+  TestServer server;
+  Client client(MakeClientConfig(server.port()));
+  ASSERT_TRUE(client.Connect().ok());
+
+  auto health = client.Health();
+  ASSERT_TRUE(health.ok()) << health.status().ToString();
+  EXPECT_TRUE(health.value().ok);
+  EXPECT_FALSE(health.value().draining);
+  EXPECT_EQ(health.value().wire_version, wire::kWireVersion);
+  EXPECT_EQ(health.value().num_patterns, f.catalog->num_patterns());
+  EXPECT_EQ(health.value().has_classifier, f.catalog->has_classifier());
+
+  ASSERT_TRUE(client.Query(f.db.graph(0)).ok());
+  auto stats = client.Stats();
+  ASSERT_TRUE(stats.ok()) << stats.status().ToString();
+  EXPECT_GE(stats.value().requests_served, 1u);
+  EXPECT_GE(stats.value().frames_received, 2u);
+  EXPECT_EQ(stats.value().protocol_errors, 0u);
+  EXPECT_GE(stats.value().connections_active, 1u);
+}
+
+// Writes raw bytes and expects an Error frame followed by EOF — the
+// server's contract for a protocol violation.
+void ExpectErrorThenClose(uint16_t port, const std::string& bytes) {
+  auto socket = ConnectTcp("127.0.0.1", port, 5.0);
+  ASSERT_TRUE(socket.ok()) << socket.status().ToString();
+  const int fd = socket.value().fd();
+  ASSERT_TRUE(SetIoTimeout(fd, 10.0).ok());
+  ASSERT_TRUE(WriteAll(fd, bytes).ok());
+
+  std::string header;
+  ASSERT_TRUE(ReadExact(fd, wire::kFrameHeaderBytes, &header).ok());
+  wire::FrameDecoder decoder;
+  decoder.Append(header);
+  auto peek = decoder.Next();
+  ASSERT_TRUE(peek.ok());
+  ASSERT_FALSE(peek.value().has_value());  // header only so far
+  // Payload size sits at offset 8 of the (valid, server-sent) header.
+  uint32_t payload_size = 0;
+  std::memcpy(&payload_size, header.data() + 8, sizeof(payload_size));
+  std::string payload;
+  ASSERT_TRUE(ReadExact(fd, payload_size, &payload).ok());
+  decoder.Append(payload);
+  auto frame = decoder.Next();
+  ASSERT_TRUE(frame.ok());
+  ASSERT_TRUE(frame.value().has_value());
+  EXPECT_EQ(frame.value()->type, wire::MessageType::kError);
+
+  // Then the server closes: the next read sees EOF, not a hang.
+  std::string rest;
+  util::Status eof = ReadExact(fd, 1, &rest);
+  EXPECT_FALSE(eof.ok());
+}
+
+TEST(NetServerTest, MalformedFrameGetsErrorReplyThenClose) {
+  const Fixture& f = SharedFixture();
+  TestServer server;
+
+  ExpectErrorThenClose(server.port(), "this is not a GSW1 frame at all");
+
+  const uint64_t errors_before = server.server().counters().protocol_errors;
+  EXPECT_GE(errors_before, 1u);
+
+  // A frame with a corrupted payload (CRC mismatch) is also fatal.
+  std::string corrupt = wire::EncodeFrame(
+      wire::MessageType::kQuery,
+      wire::EncodeQueryRequest({{}, f.db.graph(0)}));
+  corrupt[wire::kFrameHeaderBytes] ^= 0x40;
+  ExpectErrorThenClose(server.port(), corrupt);
+
+  // The server survives both: a fresh client still gets served.
+  Client client(MakeClientConfig(server.port()));
+  ASSERT_TRUE(client.Connect().ok());
+  auto reply = client.Query(f.db.graph(0));
+  ASSERT_TRUE(reply.ok()) << reply.status().ToString();
+  EXPECT_EQ(wire::EncodeQueryReply(reply.value()),
+            ExpectedReplyBytes(f.db.graph(0)));
+  EXPECT_GE(server.server().counters().protocol_errors, errors_before + 1);
+}
+
+TEST(NetServerTest, OversizedFrameAnnouncementIsRejected) {
+  ServerConfig config;
+  config.max_frame_bytes = 1024;
+  TestServer server(config);
+
+  // A header announcing 1 MiB against a 1 KiB cap: the server must
+  // reject on the header alone — no buffering of the announced size.
+  ExpectErrorThenClose(server.port(),
+                       wire::EncodeFrame(wire::MessageType::kQuery,
+                                         std::string(1 << 20, 'x'))
+                           .substr(0, wire::kFrameHeaderBytes));
+}
+
+TEST(NetServerTest, TruncatedWriteThenDisconnectIsSurvivable) {
+  const Fixture& f = SharedFixture();
+  TestServer server;
+
+  {
+    // Half a frame, then the peer vanishes.
+    auto socket = ConnectTcp("127.0.0.1", server.port(), 5.0);
+    ASSERT_TRUE(socket.ok());
+    const std::string frame = wire::EncodeFrame(
+        wire::MessageType::kQuery,
+        wire::EncodeQueryRequest({{}, f.db.graph(0)}));
+    ASSERT_TRUE(WriteAll(socket.value().fd(),
+                         frame.substr(0, frame.size() / 2))
+                    .ok());
+  }  // socket closes here
+
+  // The server shrugs it off and keeps serving.
+  Client client(MakeClientConfig(server.port()));
+  ASSERT_TRUE(client.Connect().ok());
+  auto reply = client.Query(f.db.graph(1));
+  ASSERT_TRUE(reply.ok()) << reply.status().ToString();
+  EXPECT_EQ(wire::EncodeQueryReply(reply.value()),
+            ExpectedReplyBytes(f.db.graph(1)));
+}
+
+TEST(NetServerTest, AdmissionFullAnswersRetryLater) {
+  const Fixture& f = SharedFixture();
+  ServerConfig config;
+  config.max_inflight_requests = 0;  // every query over budget
+  TestServer server(config);
+
+  Client client(MakeClientConfig(server.port()));
+  ASSERT_TRUE(client.Connect().ok());
+  auto reply = client.Query(f.db.graph(0));
+  ASSERT_FALSE(reply.ok());
+  EXPECT_EQ(reply.status().code(), util::StatusCode::kUnavailable);
+
+  // Backpressure is per-request, not per-connection: the same
+  // connection still answers Stats/Health (served inline) afterwards.
+  auto health = client.Health();
+  ASSERT_TRUE(health.ok()) << health.status().ToString();
+  EXPECT_TRUE(health.value().ok);
+  EXPECT_GE(server.server().counters().retries_sent, 1u);
+}
+
+TEST(NetServerTest, DrainFlushesInflightRepliesBeforeExit) {
+  const Fixture& f = SharedFixture();
+  TestServer server;
+
+  // Pipeline a burst of queries raw, then request shutdown while they
+  // are (potentially) still in flight. Drain semantics: every accepted
+  // request's reply must still arrive, then the connection closes.
+  constexpr int kBurst = 16;
+  auto socket = ConnectTcp("127.0.0.1", server.port(), 5.0);
+  ASSERT_TRUE(socket.ok());
+  const int fd = socket.value().fd();
+  ASSERT_TRUE(SetIoTimeout(fd, 30.0).ok());
+  std::string burst;
+  for (int i = 0; i < kBurst; ++i) {
+    burst += wire::EncodeFrame(
+        wire::MessageType::kQuery,
+        wire::EncodeQueryRequest(
+            {{}, f.db.graph(static_cast<size_t>(i) % f.db.size())}));
+  }
+  ASSERT_TRUE(WriteAll(fd, burst).ok());
+  // Wait until the loop has read and dispatched the whole burst, then
+  // start the drain while (some of) those requests are still in flight.
+  // Drain stops *reads*, not dispatched work: every accepted request's
+  // reply must still arrive.
+  while (server.server().counters().frames_received <
+         static_cast<uint64_t>(kBurst)) {
+    std::this_thread::yield();
+  }
+  server.server().RequestShutdown();
+
+  // Read replies frame by frame: header first (to learn the size), then
+  // the payload. The socket is blocking with a generous timeout.
+  int replies = 0;
+  for (; replies < kBurst; ++replies) {
+    std::string header;
+    ASSERT_TRUE(ReadExact(fd, wire::kFrameHeaderBytes, &header).ok())
+        << "connection died after " << replies << " replies";
+    uint32_t payload_size = 0;
+    std::memcpy(&payload_size, header.data() + 8, sizeof(payload_size));
+    std::string payload;
+    ASSERT_TRUE(ReadExact(fd, payload_size, &payload).ok());
+    wire::FrameDecoder decoder;
+    decoder.Append(header + payload);
+    auto frame = decoder.Next();
+    ASSERT_TRUE(frame.ok());
+    ASSERT_TRUE(frame.value().has_value());
+    ASSERT_EQ(frame.value()->type, wire::MessageType::kQueryReply);
+    auto decoded = wire::DecodeQueryReply(frame.value()->payload);
+    ASSERT_TRUE(decoded.ok());
+    EXPECT_EQ(wire::EncodeQueryReply(decoded.value()),
+              ExpectedReplyBytes(
+                  f.db.graph(static_cast<size_t>(replies) % f.db.size())));
+  }
+  EXPECT_EQ(replies, kBurst);
+
+  // After the last reply the server closes the connection and Serve()
+  // returns (TestServer::Shutdown checks its status).
+  server.Shutdown();
+}
+
+TEST(NetServerTest, NewConnectionsRefusedWhileDraining) {
+  TestServer server;
+  const uint16_t port = server.port();
+  server.Shutdown();  // full drain: listener closed
+
+  Client client(MakeClientConfig(port));
+  util::Status connected = client.Connect();
+  EXPECT_FALSE(connected.ok());
+}
+
+}  // namespace
+}  // namespace graphsig::net

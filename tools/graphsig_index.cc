@@ -26,6 +26,8 @@
 int main(int argc, char** argv) {
   using namespace graphsig;
   tools::Flags flags(argc, argv);
+  // Ctrl-C mid-write must not leave a partial output file behind.
+  tools::InstallSignalGuard();
   const std::string input = flags.GetString("input", "");
   const std::string output = flags.GetString("output", "");
   if (input.empty() || output.empty()) {
@@ -100,7 +102,12 @@ int main(int argc, char** argv) {
                 num_active, num_inactive);
   }
 
+  // Guard the artifact while SaveArtifact streams it out: a signal
+  // mid-write unlinks the truncated file instead of leaving a corrupt
+  // artifact for graphsig_query/graphsig_serve to reject later.
+  tools::GuardOutput(output);
   util::Status saved = model::SaveArtifact(artifact, output);
+  tools::CommitOutput(output);
   if (!saved.ok()) tools::Fail(saved);
   std::printf("artifact written to %s (%zu graphs, %zu patterns, "
               "classifier: %s)\n",

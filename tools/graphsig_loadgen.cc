@@ -1,0 +1,324 @@
+// graphsig_loadgen: open-loop load generator for graphsig_serve. Replays
+// a seeded, reproducible query workload drawn from a database file at a
+// fixed offered rate (open loop: send times come from the schedule, not
+// from reply arrival, so a slow server accrues queueing delay instead of
+// silently lowering the measured rate), spread across N connections each
+// driven by its own thread and Client.
+//
+//   graphsig_loadgen --port=N --input=FILE [--host=127.0.0.1]
+//                    [--format=smiles|sdf|gspan] [--qps=200]
+//                    [--duration=2] [--connections=1] [--seed=1]
+//                    [--count=0 (override qps*duration)] [--no-matches]
+//                    [--no-score] [--json=FILE] [--verify-model=FILE]
+//
+// --verify-model loads the same artifact the server serves and checks
+// every reply byte-for-byte against an in-process PatternCatalog::Query
+// — the wire protocol's determinism guarantee, enforced end to end.
+//
+// Exit status is 0 only if every request got a well-formed reply (server
+// RETRY_LATER backpressure is counted separately and tolerated) and no
+// verification mismatches occurred.
+
+#include <cmath>
+#include <cstdio>
+
+#include <algorithm>
+#include <chrono>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "net/client.h"
+#include "net/wire.h"
+#include "serve/pattern_catalog.h"
+#include "tools/tool_util.h"
+#include "util/rng.h"
+#include "util/strings.h"
+#include "util/timer.h"
+
+namespace {
+
+using namespace graphsig;
+
+// Latency histogram over power-of-two microsecond buckets: bucket k
+// counts latencies in (2^(k-1), 2^k] microseconds, so the JSON stays a
+// fixed ~26 lines regardless of sample count.
+constexpr int kHistogramBuckets = 26;  // up to ~33.5s, then overflow
+
+struct Sample {
+  double latency_ms = 0.0;
+  enum class Outcome : uint8_t { kOk, kRetryLater, kError } outcome;
+  bool mismatch = false;
+};
+
+struct WorkerResult {
+  std::vector<Sample> samples;
+  bool connect_failed = false;
+  std::string first_error;  // first non-retry failure, for the summary
+};
+
+int HistogramBucket(double latency_ms) {
+  const double us = latency_ms * 1000.0;
+  int bucket = 0;
+  while (bucket < kHistogramBuckets - 1 && us > static_cast<double>(1u << bucket)) {
+    ++bucket;
+  }
+  return bucket;
+}
+
+double NearestRank(const std::vector<double>& sorted, double pct) {
+  if (sorted.empty()) return 0.0;
+  size_t rank = static_cast<size_t>(
+      std::ceil(pct / 100.0 * static_cast<double>(sorted.size())));
+  if (rank == 0) rank = 1;
+  return sorted[rank - 1];
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace graphsig;
+  namespace wire = graphsig::net::wire;
+  tools::Flags flags(argc, argv);
+  tools::InstallSignalGuard();
+  const std::string input = flags.GetString("input", "");
+  const int64_t port = flags.GetInt("port", 0);
+  if (input.empty() || port <= 0 || port > 65535) {
+    std::fprintf(stderr,
+                 "usage: graphsig_loadgen --port=N --input=FILE "
+                 "[--host=ADDR] [--format=smiles|sdf|gspan] [--qps=200] "
+                 "[--duration=SECONDS] [--connections=N] [--seed=N] "
+                 "[--count=N (override qps*duration)] [--no-matches] "
+                 "[--no-score] [--json=FILE] [--verify-model=FILE]\n");
+    return 1;
+  }
+
+  auto loaded = tools::LoadDatabase(input, flags.GetString("format", "smiles"));
+  if (!loaded.ok()) tools::Fail(loaded.status());
+  const graph::GraphDatabase db = std::move(loaded).value();
+  if (db.empty()) {
+    std::fprintf(stderr, "error: no graphs in workload input\n");
+    return 1;
+  }
+
+  const double qps = flags.GetDouble("qps", 200.0);
+  const double duration = flags.GetDouble("duration", 2.0);
+  const int connections =
+      static_cast<int>(std::max<int64_t>(1, flags.GetInt("connections", 1)));
+  const uint64_t seed = static_cast<uint64_t>(flags.GetInt("seed", 1));
+  int64_t total = flags.GetInt("count", 0);
+  if (total <= 0) total = static_cast<int64_t>(std::ceil(qps * duration));
+  if (qps <= 0.0 || total <= 0) {
+    std::fprintf(stderr, "error: need positive --qps and a nonzero workload\n");
+    return 1;
+  }
+
+  wire::QueryOptions options;
+  options.compute_matches = !flags.GetBool("no-matches");
+  options.compute_score = !flags.GetBool("no-score");
+
+  // The whole workload — which graph each request sends, and when — is a
+  // pure function of (--seed, --qps, --count), independent of thread
+  // interleaving, so two runs offer the server the same request stream.
+  util::Rng rng(seed);
+  std::vector<size_t> picks(static_cast<size_t>(total));
+  for (size_t i = 0; i < picks.size(); ++i) {
+    picks[i] = static_cast<size_t>(rng.NextBounded(db.size()));
+  }
+
+  // Expected reply bytes per database graph, computed in-process from
+  // the same artifact the server loaded. Encoded lazily per distinct
+  // graph actually picked (a big database with a short run would waste
+  // startup time otherwise).
+  std::vector<std::string> expected;
+  bool verify = false;
+  const std::string verify_model = flags.GetString("verify-model", "");
+  if (!verify_model.empty()) {
+    auto catalog = serve::PatternCatalog::LoadFromFile(verify_model);
+    if (!catalog.ok()) tools::Fail(catalog.status());
+    serve::CatalogQueryConfig qconfig;
+    qconfig.num_threads = 1;
+    qconfig.compute_matches = options.compute_matches;
+    qconfig.compute_score = options.compute_score;
+    expected.resize(db.size());
+    std::vector<bool> needed(db.size(), false);
+    for (size_t pick : picks) needed[pick] = true;
+    for (size_t g = 0; g < db.size(); ++g) {
+      if (!needed[g]) continue;
+      expected[g] = wire::EncodeQueryReply(
+          wire::ReplyFromResult(catalog.value().Query(db.graph(g), qconfig)));
+    }
+    verify = true;
+  }
+
+  net::ClientConfig client_config;
+  client_config.host = flags.GetString("host", "127.0.0.1");
+  client_config.port = static_cast<uint16_t>(port);
+
+  // Request i goes out at i/qps seconds on connection i % connections.
+  // One shared wall timer anchors every thread's schedule.
+  std::vector<WorkerResult> results(static_cast<size_t>(connections));
+  util::WallTimer clock;
+  std::vector<std::thread> workers;
+  workers.reserve(static_cast<size_t>(connections));
+  for (int c = 0; c < connections; ++c) {
+    workers.emplace_back([&, c] {
+      WorkerResult& out = results[static_cast<size_t>(c)];
+      net::Client client(client_config);
+      util::Status connected = client.Connect();
+      if (!connected.ok()) {
+        out.connect_failed = true;
+        out.first_error = connected.ToString();
+        return;
+      }
+      for (int64_t i = c; i < total; i += connections) {
+        const double send_at = static_cast<double>(i) / qps;
+        const double wait = send_at - clock.ElapsedSeconds();
+        if (wait > 0.0) {
+          std::this_thread::sleep_for(std::chrono::duration<double>(wait));
+        }
+        const size_t pick = picks[static_cast<size_t>(i)];
+        util::WallTimer rpc_timer;
+        auto reply = client.Query(db.graph(pick), options);
+        Sample sample;
+        sample.latency_ms = rpc_timer.ElapsedSeconds() * 1000.0;
+        if (reply.ok()) {
+          sample.outcome = Sample::Outcome::kOk;
+          if (verify &&
+              wire::EncodeQueryReply(reply.value()) != expected[pick]) {
+            sample.mismatch = true;
+          }
+        } else if (reply.status().code() == util::StatusCode::kUnavailable) {
+          // Backpressure (RETRY_LATER or drain): the offered load stays
+          // open-loop, so we drop rather than resend.
+          sample.outcome = Sample::Outcome::kRetryLater;
+        } else {
+          sample.outcome = Sample::Outcome::kError;
+          if (out.first_error.empty()) {
+            out.first_error = reply.status().ToString();
+          }
+        }
+        out.samples.push_back(sample);
+      }
+    });
+  }
+  for (std::thread& t : workers) t.join();
+  const double wall_seconds = clock.ElapsedSeconds();
+
+  // Merge the per-connection tallies.
+  int64_t ok = 0, retries = 0, errors = 0, mismatches = 0, failed_connects = 0;
+  std::string first_error;
+  std::vector<double> latencies;
+  std::vector<int64_t> histogram(kHistogramBuckets, 0);
+  for (const WorkerResult& r : results) {
+    if (r.connect_failed) ++failed_connects;
+    if (first_error.empty()) first_error = r.first_error;
+    for (const Sample& s : r.samples) {
+      switch (s.outcome) {
+        case Sample::Outcome::kOk:
+          ++ok;
+          latencies.push_back(s.latency_ms);
+          ++histogram[static_cast<size_t>(HistogramBucket(s.latency_ms))];
+          break;
+        case Sample::Outcome::kRetryLater:
+          ++retries;
+          break;
+        case Sample::Outcome::kError:
+          ++errors;
+          break;
+      }
+      if (s.mismatch) ++mismatches;
+    }
+  }
+  std::sort(latencies.begin(), latencies.end());
+  double mean = 0.0;
+  for (double l : latencies) mean += l;
+  if (!latencies.empty()) mean /= static_cast<double>(latencies.size());
+  const double p50 = NearestRank(latencies, 50.0);
+  const double p95 = NearestRank(latencies, 95.0);
+  const double p99 = NearestRank(latencies, 99.0);
+  const double max = latencies.empty() ? 0.0 : latencies.back();
+
+  // One Stats RPC after the run: the server's own view of the workload
+  // (its protocol_errors counter is what CI asserts to be zero).
+  uint64_t server_protocol_errors = 0;
+  uint64_t server_requests = 0;
+  bool have_stats = false;
+  {
+    net::Client client(client_config);
+    if (client.Connect().ok()) {
+      auto stats = client.Stats();
+      if (stats.ok()) {
+        server_protocol_errors = stats.value().protocol_errors;
+        server_requests = stats.value().requests_served;
+        have_stats = true;
+      }
+    }
+  }
+
+  std::fprintf(stderr,
+               "offered %lld requests at %.0f QPS over %d connections in "
+               "%.2fs: %lld ok, %lld retry-later, %lld errors, %lld "
+               "verify mismatches\n",
+               static_cast<long long>(total), qps, connections, wall_seconds,
+               static_cast<long long>(ok), static_cast<long long>(retries),
+               static_cast<long long>(errors),
+               static_cast<long long>(mismatches));
+  std::fprintf(stderr,
+               "latency ms: mean %.3f p50 %.3f p95 %.3f p99 %.3f max %.3f\n",
+               mean, p50, p95, p99, max);
+  if (have_stats) {
+    std::fprintf(stderr,
+                 "server stats: %llu requests served, %llu protocol errors\n",
+                 static_cast<unsigned long long>(server_requests),
+                 static_cast<unsigned long long>(server_protocol_errors));
+  }
+  if (!first_error.empty()) {
+    std::fprintf(stderr, "first error: %s\n", first_error.c_str());
+  }
+
+  const std::string json_path = flags.GetString("json", "");
+  if (!json_path.empty()) {
+    std::string json = "{\n";
+    json += util::StrPrintf(
+        "  \"config\": {\"qps\": %.1f, \"duration_s\": %.2f, "
+        "\"connections\": %d, \"seed\": %llu, \"count\": %lld, "
+        "\"verify\": %s},\n",
+        qps, duration, connections, static_cast<unsigned long long>(seed),
+        static_cast<long long>(total), verify ? "true" : "false");
+    json += util::StrPrintf(
+        "  \"totals\": {\"ok\": %lld, \"retry_later\": %lld, \"errors\": "
+        "%lld, \"verify_mismatches\": %lld, \"failed_connects\": %lld, "
+        "\"wall_seconds\": %.3f},\n",
+        static_cast<long long>(ok), static_cast<long long>(retries),
+        static_cast<long long>(errors), static_cast<long long>(mismatches),
+        static_cast<long long>(failed_connects), wall_seconds);
+    json += util::StrPrintf(
+        "  \"latency_ms\": {\"mean\": %.4f, \"p50\": %.4f, \"p95\": %.4f, "
+        "\"p99\": %.4f, \"max\": %.4f},\n",
+        mean, p50, p95, p99, max);
+    if (have_stats) {
+      json += util::StrPrintf(
+          "  \"server\": {\"requests_served\": %llu, \"protocol_errors\": "
+          "%llu},\n",
+          static_cast<unsigned long long>(server_requests),
+          static_cast<unsigned long long>(server_protocol_errors));
+    }
+    json += "  \"histogram_us\": [\n";
+    for (int b = 0; b < kHistogramBuckets; ++b) {
+      json += util::StrPrintf(
+          "    {\"le_us\": %llu, \"count\": %lld}%s\n",
+          static_cast<unsigned long long>(1ull << b),
+          static_cast<long long>(histogram[static_cast<size_t>(b)]),
+          b + 1 < kHistogramBuckets ? "," : "");
+    }
+    json += "  ]\n}\n";
+    util::Status written = tools::WriteFile(json_path, json);
+    if (!written.ok()) tools::Fail(written);
+    std::fprintf(stderr, "histogram written to %s\n", json_path.c_str());
+  }
+
+  const bool clean = errors == 0 && mismatches == 0 && failed_connects == 0 &&
+                     (!have_stats || server_protocol_errors == 0);
+  return clean ? 0 : 1;
+}

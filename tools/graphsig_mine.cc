@@ -23,6 +23,8 @@
 int main(int argc, char** argv) {
   using namespace graphsig;
   tools::Flags flags(argc, argv);
+  // Ctrl-C mid-write must not leave a partial output file behind.
+  tools::InstallSignalGuard();
   const std::string input = flags.GetString("input", "");
   if (input.empty()) {
     std::fprintf(stderr,

@@ -30,6 +30,8 @@
 int main(int argc, char** argv) {
   using namespace graphsig;
   tools::Flags flags(argc, argv);
+  // Ctrl-C mid-write must not leave a partial output file behind.
+  tools::InstallSignalGuard();
   const std::string model_path = flags.GetString("model", "");
   if (model_path.empty()) {
     std::fprintf(stderr,
@@ -143,9 +145,10 @@ int main(int argc, char** argv) {
                summary.p50_ms, summary.p95_ms, summary.max_ms,
                config.num_threads);
   // Cumulative counters aggregated by the catalog itself (the numbers a
-  // long-lived server would export); for this one-batch tool they cover
-  // exactly the batch above.
-  const serve::ServingStats stats = serving.stats();
+  // long-lived server exports through its Stats RPC); for this one-batch
+  // tool they cover exactly the batch above. Snapshot() copies the whole
+  // set under one lock, so the aggregates are mutually consistent.
+  const serve::ServingStats stats = serving.Snapshot();
   if (config.compute_matches && serving.num_patterns() > 0) {
     const double pruned_pct =
         100.0 * static_cast<double>(stats.pruned) /

@@ -1,0 +1,111 @@
+// graphsig_serve: the GraphSig query daemon. Loads a model artifact
+// once, then serves Query/BatchQuery/Stats/Health RPCs over the binary
+// wire protocol (src/net/wire.h) from a non-blocking epoll loop,
+// dispatching decoded requests onto the shared thread pool.
+//
+//   graphsig_serve --model=model.gsig [--host=127.0.0.1] [--port=7117]
+//                  [--batch-threads=0 (auto)] [--max-inflight=64]
+//                  [--max-frame-mb=16] [--drain-timeout=5]
+//
+// --port=0 binds an ephemeral port; the actual port is printed on the
+// "listening on" line (stdout, flushed) so scripts can scrape it.
+//
+// SIGTERM/SIGINT trigger a graceful drain: stop accepting, finish
+// in-flight requests, flush every reply and the log sink, then exit 0.
+// Clients mid-request see their replies; idle clients see EOF.
+
+#include <csignal>
+#include <cstdio>
+
+#include <atomic>
+
+#include "net/server.h"
+#include "serve/pattern_catalog.h"
+#include "tools/tool_util.h"
+#include "util/timer.h"
+
+namespace {
+
+std::atomic<graphsig::net::Server*> g_server{nullptr};
+
+void HandleDrainSignal(int /*sig*/) {
+  // RequestShutdown is async-signal-safe (atomic store + eventfd write).
+  graphsig::net::Server* server = g_server.load(std::memory_order_acquire);
+  if (server != nullptr) server->RequestShutdown();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace graphsig;
+  tools::Flags flags(argc, argv);
+  const std::string model_path = flags.GetString("model", "");
+  if (model_path.empty()) {
+    std::fprintf(stderr,
+                 "usage: graphsig_serve --model=FILE [--host=ADDR] "
+                 "[--port=N (0 = ephemeral)] [--batch-threads=N (0 = "
+                 "auto)] [--max-inflight=N] [--max-frame-mb=N] "
+                 "[--drain-timeout=SECONDS]\n");
+    return 1;
+  }
+
+  util::WallTimer load_timer;
+  auto catalog = serve::PatternCatalog::LoadFromFile(model_path);
+  if (!catalog.ok()) tools::Fail(catalog.status());
+  std::fprintf(stderr,
+               "loaded %s in %.2fs: %zu graphs indexed, %zu significant "
+               "patterns, classifier: %s\n",
+               model_path.c_str(), load_timer.ElapsedSeconds(),
+               catalog.value().artifact().database.size(),
+               catalog.value().num_patterns(),
+               catalog.value().has_classifier() ? "yes" : "no");
+
+  net::ServerConfig config;
+  config.host = flags.GetString("host", config.host);
+  config.port = static_cast<uint16_t>(flags.GetInt("port", 7117));
+  config.batch_threads =
+      tools::ResolveThreads(flags.GetInt("batch-threads", 0));
+  config.max_inflight_requests = static_cast<size_t>(flags.GetInt(
+      "max-inflight", static_cast<int64_t>(config.max_inflight_requests)));
+  config.max_frame_bytes =
+      static_cast<size_t>(flags.GetInt("max-frame-mb", 16)) << 20;
+  config.drain_timeout_seconds =
+      flags.GetDouble("drain-timeout", config.drain_timeout_seconds);
+
+  net::Server server(&catalog.value(), config);
+  util::Status started = server.Start();
+  if (!started.ok()) tools::Fail(started);
+
+  // The drain handler replaces the default die-on-signal disposition:
+  // a server wants stop-accepting + finish-in-flight, not an abrupt
+  // exit with replies half-written.
+  g_server.store(&server, std::memory_order_release);
+  std::signal(SIGTERM, HandleDrainSignal);
+  std::signal(SIGINT, HandleDrainSignal);
+
+  std::printf("listening on %s:%u\n", config.host.c_str(), server.port());
+  std::fflush(stdout);
+
+  util::Status served = server.Serve();
+  g_server.store(nullptr, std::memory_order_release);
+  if (!served.ok()) tools::Fail(served);
+
+  const net::ServerCounters counters = server.counters();
+  const serve::ServingStats stats = catalog.value().Snapshot();
+  std::fprintf(stderr,
+               "drained: %llu connections, %llu frames, %llu requests "
+               "served, %llu protocol errors, %llu retries\n",
+               static_cast<unsigned long long>(
+                   counters.connections_accepted),
+               static_cast<unsigned long long>(counters.frames_received),
+               static_cast<unsigned long long>(counters.requests_served),
+               static_cast<unsigned long long>(counters.protocol_errors),
+               static_cast<unsigned long long>(counters.retries_sent));
+  std::fprintf(stderr,
+               "serving counters: %lld queries | mean latency %.3fms | "
+               "max %.3fms | %lld pattern matches\n",
+               static_cast<long long>(stats.queries),
+               stats.mean_latency_ms(), stats.max_latency_ms,
+               static_cast<long long>(stats.pattern_matches));
+  return 0;
+}
