@@ -75,11 +75,16 @@ void FuzzTypedDecoders(const wire::Frame& frame) {
     case wire::MessageType::kStatsReply: {
       auto stats = wire::DecodeStatsReply(payload);
       if (stats.ok()) {
+        // Both encodings are canonical (the v2 counter section is
+        // omitted entirely when empty), so decode must invert encode
+        // byte-for-byte across versions.
+        GS_CHECK(wire::EncodeStatsReply(stats.value()) == payload);
         auto again =
             wire::DecodeStatsReply(wire::EncodeStatsReply(stats.value()));
         GS_CHECK(again.ok());
         GS_CHECK_EQ(again.value().requests_served,
                     stats.value().requests_served);
+        GS_CHECK(again.value().work_counters == stats.value().work_counters);
       }
       break;
     }
@@ -103,7 +108,15 @@ void FuzzTypedDecoders(const wire::Frame& frame) {
       }
       break;
     }
-    case wire::MessageType::kStats:
+    case wire::MessageType::kStats: {
+      // v1 is the empty payload, v2 a single version byte; both
+      // spellings are canonical, so encode must invert decode exactly.
+      auto req = wire::DecodeStatsRequest(payload);
+      if (req.ok()) {
+        GS_CHECK(wire::EncodeStatsRequest(req.value()) == payload);
+      }
+      break;
+    }
     case wire::MessageType::kHealth:
     case wire::MessageType::kRetryLater:
       break;  // no payload to decode
@@ -146,6 +159,7 @@ extern "C" int LLVMFuzzerTestOneInput(const uint8_t* data, size_t size) {
         if (!next.value().has_value()) break;
         GS_CHECK(produced < whole_frames.size());
         GS_CHECK(next.value()->type == whole_frames[produced].type);
+        GS_CHECK(next.value()->version == whole_frames[produced].version);
         GS_CHECK(next.value()->payload == whole_frames[produced].payload);
         ++produced;
       }

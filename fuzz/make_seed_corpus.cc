@@ -164,6 +164,23 @@ int main(int argc, char** argv) {
     WriteFileOrDie(root / "wire" / "stats_reply.bin",
                    wire::EncodeFrame(wire::MessageType::kStatsReply,
                                      wire::EncodeStatsReply(stats)));
+    // v2 stats shapes: the versioned request and a reply carrying the
+    // work-counter section, both on v2-stamped frames.
+    wire::StatsRequest stats_v2;
+    stats_v2.version = 2;
+    WriteFileOrDie(
+        root / "wire" / "stats_v2.bin",
+        wire::EncodeFrame(wire::MessageType::kStats,
+                          wire::EncodeStatsRequest(stats_v2), 2));
+    wire::StatsReply stats_with_counters = stats;
+    stats_with_counters.work_counters = {{"fvmine/expansions", 1234},
+                                         {"rwr/power_iterations", 56},
+                                         {"span/mine/work", 789}};
+    WriteFileOrDie(
+        root / "wire" / "stats_reply_v2.bin",
+        wire::EncodeFrame(wire::MessageType::kStatsReply,
+                          wire::EncodeStatsReply(stats_with_counters),
+                          wire::StatsReplyWireVersion(stats_with_counters)));
     wire::HealthReply health;
     health.ok = true;
     health.num_patterns = 64;

@@ -1,0 +1,147 @@
+#!/usr/bin/env python3
+"""CI gate over the deterministic work counters (src/obs).
+
+Compares the "counters" and "spans" sections of one or more
+--metrics-out dumps against the checked-in baseline
+(bench/baselines/counters_baseline.json). Wall-clock numbers never
+enter the comparison: the "advisory" section of each dump (timings,
+queue depths, histograms, span wall_ns) is ignored entirely, which is
+what makes the gate stable on noisy single-core CI runners — work
+counters are byte-identical for a fixed seed regardless of machine
+speed or thread count (tests/obs_test.cc proves the latter).
+
+Failure conditions, per labeled dump:
+  * a counter present in the baseline but missing from the run (work
+    silently stopped being counted — or stopped happening),
+  * a counter present in the run but missing from the baseline (new
+    work appeared without the baseline being refreshed),
+  * a value drifting more than --tolerance (default 2%) from baseline.
+
+Usage (labels bind dumps to their baseline sections):
+
+  check_counters.py --baseline=bench/baselines/counters_baseline.json \
+      mine=/tmp/mine_metrics.json serve=/tmp/serve_metrics.json
+
+Refreshing the baseline after an intentional change is the same
+command with --refresh (scripts/bench_regression.sh --refresh runs the
+whole seeded workload and does this in one step):
+
+  check_counters.py --refresh --baseline=... mine=... serve=...
+"""
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+
+def flatten_work_values(dump: dict) -> dict:
+    """The deterministic view of a DumpJson payload: work counters plus
+    spans flattened to span/<path>/{calls,work}. Mirrors
+    MetricsRegistry::WorkValues() in src/obs/metrics.cc."""
+    values = {}
+    for name, value in dump.get("counters", {}).items():
+        values[name] = int(value)
+    for path, span in dump.get("spans", {}).items():
+        values[f"span/{path}/calls"] = int(span["calls"])
+        values[f"span/{path}/work"] = int(span["work"])
+    return values
+
+
+def compare(label: str, baseline: dict, current: dict, tolerance: float):
+    failures = []
+    for name in sorted(baseline.keys() - current.keys()):
+        failures.append(
+            f"{label}: counter '{name}' is in the baseline but missing "
+            f"from this run"
+        )
+    for name in sorted(current.keys() - baseline.keys()):
+        failures.append(
+            f"{label}: counter '{name}' is new (not in the baseline); "
+            f"refresh the baseline if the work is intentional"
+        )
+    for name in sorted(baseline.keys() & current.keys()):
+        base, cur = baseline[name], current[name]
+        drift = abs(cur - base) / max(abs(base), 1)
+        if drift > tolerance:
+            failures.append(
+                f"{label}: counter '{name}' drifted {drift:.1%} "
+                f"(baseline {base}, got {cur}, tolerance {tolerance:.0%})"
+            )
+    return failures
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(
+        description=__doc__, formatter_class=argparse.RawDescriptionHelpFormatter
+    )
+    parser.add_argument("--baseline", required=True, type=Path)
+    parser.add_argument("--tolerance", type=float, default=0.02)
+    parser.add_argument(
+        "--refresh",
+        action="store_true",
+        help="write the baseline from this run instead of comparing",
+    )
+    parser.add_argument(
+        "dumps",
+        nargs="+",
+        metavar="LABEL=METRICS_JSON",
+        help="a --metrics-out file and the baseline section it maps to",
+    )
+    args = parser.parse_args()
+
+    runs = {}
+    for spec in args.dumps:
+        label, sep, path = spec.partition("=")
+        if not sep or not label or not path:
+            parser.error(f"expected LABEL=METRICS_JSON, got '{spec}'")
+        if label in runs:
+            parser.error(f"duplicate label '{label}'")
+        with open(path, encoding="utf-8") as f:
+            runs[label] = flatten_work_values(json.load(f))
+
+    if args.refresh:
+        args.baseline.parent.mkdir(parents=True, exist_ok=True)
+        with open(args.baseline, "w", encoding="utf-8") as f:
+            json.dump(runs, f, indent=2, sort_keys=True)
+            f.write("\n")
+        print(f"baseline refreshed: {args.baseline} "
+              f"({sum(len(v) for v in runs.values())} counters "
+              f"across {len(runs)} sections)")
+        return 0
+
+    with open(args.baseline, encoding="utf-8") as f:
+        baseline = json.load(f)
+
+    failures = []
+    for label in sorted(baseline.keys() - runs.keys()):
+        failures.append(f"baseline section '{label}' was not provided")
+    for label in sorted(runs.keys() - baseline.keys()):
+        failures.append(
+            f"section '{label}' has no baseline; refresh to add it"
+        )
+    for label in sorted(baseline.keys() & runs.keys()):
+        failures.extend(
+            compare(label, baseline[label], runs[label], args.tolerance)
+        )
+
+    checked = sum(len(v) for v in runs.values())
+    if failures:
+        for failure in failures:
+            print(f"FAIL {failure}")
+        print(
+            f"check_counters.py: {len(failures)} failure(s) across "
+            f"{checked} counters",
+            file=sys.stderr,
+        )
+        return 1
+    print(
+        f"check_counters.py: {checked} counters across "
+        f"{len(runs)} sections match the baseline "
+        f"(tolerance {args.tolerance:.0%})"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,75 @@
+#!/usr/bin/env python3
+"""Line-coverage floor gate for the CI coverage job.
+
+Reads `llvm-cov export -summary-only` JSON (a file argument or stdin)
+and enforces a minimum line-coverage percentage per source directory.
+Aggregation is by line counts, not by averaging per-file percentages,
+so a large barely-covered file cannot hide behind small fully-covered
+neighbours.
+
+  llvm-cov export -summary-only -instr-profile=cov.profdata BIN \
+      | scripts/check_coverage.py --json=- src/util=80 src/net=75 src/obs=90
+"""
+
+import argparse
+import json
+import sys
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(
+        description=__doc__, formatter_class=argparse.RawDescriptionHelpFormatter
+    )
+    parser.add_argument(
+        "--json", required=True, help="llvm-cov export JSON path, or - for stdin"
+    )
+    parser.add_argument(
+        "floors",
+        nargs="+",
+        metavar="DIR=MIN_PERCENT",
+        help="directory prefix (repo-relative) and its line-coverage floor",
+    )
+    args = parser.parse_args()
+
+    floors = {}
+    for spec in args.floors:
+        prefix, sep, floor = spec.partition("=")
+        if not sep:
+            parser.error(f"expected DIR=MIN_PERCENT, got '{spec}'")
+        floors[prefix.rstrip("/") + "/"] = float(floor)
+
+    source = sys.stdin if args.json == "-" else open(args.json, encoding="utf-8")
+    with source:
+        export = json.load(source)
+
+    totals = {prefix: [0, 0] for prefix in floors}  # prefix -> [covered, count]
+    for data in export["data"]:
+        for entry in data.get("files", []):
+            filename = entry["filename"]
+            lines = entry["summary"]["lines"]
+            for prefix in floors:
+                # llvm-cov emits absolute paths; match on the repo-relative
+                # component so the gate is independent of the checkout dir.
+                if f"/{prefix}" in filename or filename.startswith(prefix):
+                    totals[prefix][0] += lines["covered"]
+                    totals[prefix][1] += lines["count"]
+
+    failures = 0
+    for prefix, floor in sorted(floors.items()):
+        covered, count = totals[prefix]
+        if count == 0:
+            print(f"FAIL {prefix}: no instrumented lines found "
+                  f"(wrong binary or path filter?)")
+            failures += 1
+            continue
+        percent = 100.0 * covered / count
+        status = "ok  " if percent >= floor else "FAIL"
+        if percent < floor:
+            failures += 1
+        print(f"{status} {prefix}: {percent:.1f}% line coverage "
+              f"({covered}/{count} lines, floor {floor:.0f}%)")
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

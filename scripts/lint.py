@@ -28,6 +28,19 @@ Rules (each can be waived on one line with a `lint:allow=<rule>` comment):
                 src/net/. All transport goes through the RAII + Status
                 wrappers in src/net/socket.h so fd ownership, EINTR
                 retries, and SIGPIPE suppression are written once.
+
+  adhoc-atomic  std::atomic in src/ outside src/obs/ and src/util/.
+                A bare atomic in library code is almost always a counter
+                someone will want to read later — register it in
+                obs::MetricsRegistry instead, where it is dumpable,
+                resettable, and classified as deterministic-or-advisory.
+                Genuine synchronization primitives belong in src/util/.
+
+  raw-chrono    std::chrono in src/ outside src/obs/ and src/util/.
+                Library code takes time from util::WallTimer or reports
+                through obs trace spans; scattering clock reads breaks
+                the "all wall time is advisory" fence the determinism
+                contract relies on (DESIGN.md §12).
 """
 
 import re
@@ -88,6 +101,22 @@ RULES = [
         lambda rel: rel.parts[:2] != ("src", "net"),
         "socket/epoll syscalls live in src/net/socket.h wrappers only "
         "(one place for fd ownership, EINTR, SIGPIPE)",
+    ),
+    (
+        "adhoc-atomic",
+        re.compile(r"std::atomic\b"),
+        lambda rel: rel.parts[0] == "src"
+        and rel.parts[:2] not in (("src", "obs"), ("src", "util")),
+        "register counters in obs::MetricsRegistry (src/obs/metrics.h) "
+        "instead of ad-hoc atomics; sync primitives go in src/util/",
+    ),
+    (
+        "raw-chrono",
+        re.compile(r"std::chrono\b"),
+        lambda rel: rel.parts[0] == "src"
+        and rel.parts[:2] not in (("src", "obs"), ("src", "util")),
+        "take wall time from util::WallTimer or obs trace spans, not "
+        "raw std::chrono (keeps wall time fenced as advisory)",
     ),
 ]
 

@@ -1,8 +1,9 @@
 #!/usr/bin/env bash
 # Loopback smoke for the serving pipeline: start graphsig_serve on an
 # ephemeral port, drive a short verified workload with graphsig_loadgen,
-# then SIGTERM the server and require a clean drain. Used by the
-# tool_serve_loadgen ctest and the CI server-smoke job.
+# cross-check the server's Stats-RPC counters against the client-side
+# tallies, then SIGTERM the server and require a clean drain. Used by
+# the tool_serve_loadgen ctest and the CI server-smoke job.
 #
 #   serve_smoke.sh <graphsig_serve> <graphsig_loadgen> <model> <workload>
 set -euo pipefail
@@ -14,21 +15,74 @@ WORKLOAD=$4
 
 OUT=$(mktemp)
 ERR=$(mktemp)
-trap 'rm -f "$OUT" "$ERR"; [ -n "${SERVE_PID:-}" ] && kill "$SERVE_PID" 2>/dev/null || true' EXIT
+JSON=$(mktemp)
+SERVE_PID=
+
+# The trap must reap as well as kill: exiting mid-run with only a kill
+# races the server's own drain (and on a recycled PID would signal an
+# unrelated process); wait-ing pins the PID until we know it is gone.
+cleanup() {
+  if [ -n "$SERVE_PID" ]; then
+    kill "$SERVE_PID" 2>/dev/null || true
+    wait "$SERVE_PID" 2>/dev/null || true
+  fi
+  rm -f "$OUT" "$ERR" "$JSON"
+}
+trap cleanup EXIT
 
 "$SERVE_BIN" --model="$MODEL" --port=0 >"$OUT" 2>"$ERR" &
 SERVE_PID=$!
 
+# Scrape the port inside the wait loop and fail loudly with the server's
+# output if it never appears — a pattern drift in the "listening on"
+# line must break the smoke, not silently hand sed an empty match.
+PORT=
 for _ in $(seq 1 100); do
-  grep -q "listening on" "$OUT" 2>/dev/null && break
+  PORT=$(sed -n 's/.*listening on [0-9.]*:\([0-9]*\)$/\1/p' "$OUT")
+  [ -n "$PORT" ] && break
   kill -0 "$SERVE_PID" 2>/dev/null || { cat "$ERR" >&2; exit 1; }
   sleep 0.1
 done
-PORT=$(sed -n 's/.*listening on [0-9.]*:\([0-9]*\)$/\1/p' "$OUT")
-[ -n "$PORT" ] || { echo "no port scraped from serve output" >&2; exit 1; }
+if [ -z "$PORT" ]; then
+  echo "serve_smoke: failed to scrape port from serve output:" >&2
+  cat "$OUT" "$ERR" >&2
+  exit 1
+fi
 
 "$LOADGEN_BIN" --port="$PORT" --input="$WORKLOAD" --qps=150 --duration=1 \
-  --connections=2 --seed=7 --verify-model="$MODEL"
+  --connections=2 --seed=7 --verify-model="$MODEL" --json="$JSON"
+
+# The server's Stats-RPC counters must agree exactly with what the
+# client observed: every ok reply was a served request, every
+# RETRY_LATER was counted as a sent retry, and the received frames are
+# the queries plus the one Stats frame that took the snapshot.
+python3 - "$JSON" <<'EOF'
+import json, sys
+
+report = json.load(open(sys.argv[1]))
+totals, server = report["totals"], report["server"]
+failures = []
+
+def expect(name, got, want):
+    if got != want:
+        failures.append(f"{name}: server reports {got}, client saw {want}")
+
+expect("requests_served", server["requests_served"], totals["ok"])
+expect("retries_sent", server["retries_sent"], totals["retry_later"])
+expect("frames_received", server["frames_received"],
+       totals["ok"] + totals["retry_later"] + 1)
+if not server["work_counters"]:
+    failures.append("stats reply carries no work counters")
+elif server["work_counters"].get("serve/queries") != totals["ok"]:
+    failures.append(
+        f"work counter serve/queries = "
+        f"{server['work_counters'].get('serve/queries')}, "
+        f"client saw {totals['ok']} ok replies")
+
+for f in failures:
+    print(f"serve_smoke: stats mismatch - {f}", file=sys.stderr)
+sys.exit(1 if failures else 0)
+EOF
 
 kill -TERM "$SERVE_PID"
 wait "$SERVE_PID"

@@ -10,6 +10,8 @@
 #include "fsm/maximal.h"
 #include "fsm/miner.h"
 #include "graph/isomorphism.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "stats/pvalue_model.h"
 #include "util/check.h"
 #include "util/parallel.h"
@@ -53,6 +55,7 @@ FeaturePhaseOutput RunFeaturePhase(const GraphSigConfig& config,
   if (out.node_vectors.empty()) return out;
 
   timer.Restart();
+  GS_TRACE_SPAN_NAMED(feature_span, "mine/feature");
   // Group by anchor label (line 6) and run FVMine per group (line 7).
   std::map<Label, std::vector<int32_t>> groups;
   for (size_t i = 0; i < out.node_vectors.size(); ++i) {
@@ -107,6 +110,7 @@ FeaturePhaseOutput RunFeaturePhase(const GraphSigConfig& config,
   }
   out.stats.num_significant_vectors =
       static_cast<int64_t>(out.significant.size());
+  feature_span.AddWork(out.significant.size());
   out.feature_seconds = timer.ElapsedSeconds();
   return out;
 }
@@ -128,6 +132,7 @@ GraphSig::MineSignificantVectors(const GraphDatabase& db,
 }
 
 GraphSigResult GraphSig::Mine(const GraphDatabase& db) const {
+  GS_TRACE_SPAN("mine");
   GraphSigResult result;
   util::WallTimer total_timer;
 
@@ -138,6 +143,7 @@ GraphSigResult GraphSig::Mine(const GraphDatabase& db) const {
   result.profile.feature_seconds = phase.feature_seconds;
 
   util::WallTimer fsm_timer;
+  GS_TRACE_SPAN_NAMED(fsm_span, "mine/fsm");
   // Graph-space phase (Algorithm 2, lines 8-13): each significant vector
   // selects the regions it describes; cut them out and mine maximally at
   // a high relative threshold. The per-vector minings are independent,
@@ -194,6 +200,20 @@ GraphSigResult GraphSig::Mine(const GraphDatabase& db) const {
     tasks.push_back(std::move(task));
   }
   result.stats.num_unique_regions = static_cast<int64_t>(cut_owner.size());
+  // Cache accounting: every request beyond the first for a (graph, node)
+  // cut is a hit. Both totals fall out of the serial pass 1, so they are
+  // deterministic work counters (DESIGN.md §12).
+  {
+    auto& registry = obs::MetricsRegistry::Global();
+    static obs::Counter* const cache_hits =
+        registry.GetCounter("mine/region_cache_hits");
+    static obs::Counter* const cache_misses =
+        registry.GetCounter("mine/region_cache_misses");
+    cache_hits->Add(static_cast<uint64_t>(result.stats.num_region_requests -
+                                          result.stats.num_unique_regions));
+    cache_misses->Add(
+        static_cast<uint64_t>(result.stats.num_unique_regions));
+  }
 
   // Pass 2: compute each distinct cut once, in parallel (each slot is
   // written by exactly one task; the cut is a pure function of its key).
@@ -296,6 +316,7 @@ GraphSigResult GraphSig::Mine(const GraphDatabase& db) const {
               return a.subgraph.num_edges() > b.subgraph.num_edges();
             });
 
+  fsm_span.AddWork(static_cast<uint64_t>(result.stats.num_sets_mined));
   result.profile.fsm_seconds = fsm_timer.ElapsedSeconds();
   result.profile.total_seconds = total_timer.ElapsedSeconds();
   return result;

@@ -2,11 +2,37 @@
 
 #include <cmath>
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "util/check.h"
 #include "util/parallel.h"
 
 namespace graphsig::features {
 namespace {
+
+// Work counters for the power iteration (DESIGN.md §12). All three are
+// deterministic: iteration counts and the float-op tally depend only on
+// the graph and the config, never on scheduling. Hot loops accumulate
+// into locals and flush once per source to keep the per-step cost zero.
+struct RwrMetrics {
+  obs::Counter* sources;
+  obs::Counter* iterations;
+  obs::Counter* float_ops;
+
+  static const RwrMetrics& Get() {
+    static const RwrMetrics m = {
+        obs::MetricsRegistry::Global().GetCounter("rwr/sources"),
+        obs::MetricsRegistry::Global().GetCounter("rwr/power_iterations"),
+        obs::MetricsRegistry::Global().GetCounter("rwr/float_ops")};
+    return m;
+  }
+
+  void Flush(uint64_t iters, uint64_t flops) const {
+    sources->Increment();
+    iterations->Add(iters);
+    float_ops->Add(flops);
+  }
+};
 
 // Accumulates per-feature mass from a stationary node distribution.
 // `in_window[v]` marks nodes reachable by the (possibly radius-confined)
@@ -59,7 +85,9 @@ std::vector<double> RwrWholeGraph(const graph::Graph& g,
   std::vector<double> p(g.num_vertices(), 0.0);
   p[source] = 1.0;
   std::vector<double> next(g.num_vertices(), 0.0);
+  uint64_t iters = 0, flops = 0;
   for (int iter = 0; iter < config.max_iterations; ++iter) {
+    ++iters;
     std::fill(next.begin(), next.end(), 0.0);
     double dangling = 0.0;
     for (graph::VertexId v = 0; v < g.num_vertices(); ++v) {
@@ -67,9 +95,11 @@ std::vector<double> RwrWholeGraph(const graph::Graph& g,
       const int degree = g.degree(v);
       if (degree == 0) {
         dangling += p[v];
+        ++flops;
         continue;
       }
       const double share = (1.0 - alpha) * p[v] / degree;
+      flops += 2 + static_cast<uint64_t>(degree);
       for (const graph::AdjEntry& adj : g.neighbors(v)) {
         next[adj.to] += share;
       }
@@ -79,9 +109,11 @@ std::vector<double> RwrWholeGraph(const graph::Graph& g,
     for (graph::VertexId v = 0; v < g.num_vertices(); ++v) {
       delta += std::abs(next[v] - p[v]);
     }
+    flops += 2 * static_cast<uint64_t>(g.num_vertices());
     p.swap(next);
     if (delta < config.epsilon) break;
   }
+  RwrMetrics::Get().Flush(iters, flops);
   return p;
 }
 
@@ -115,16 +147,20 @@ std::vector<double> RwrStationaryDistribution(const graph::Graph& g,
   std::vector<double> p(g.num_vertices(), 0.0);
   p[source] = 1.0;
   std::vector<double> next(g.num_vertices(), 0.0);
+  uint64_t iters = 0, flops = 0;
   for (int iter = 0; iter < config.max_iterations; ++iter) {
+    ++iters;
     std::fill(next.begin(), next.end(), 0.0);
     double dangling = 0.0;  // mass at nodes with no onward move
     for (graph::VertexId v = 0; v < g.num_vertices(); ++v) {
       if (p[v] == 0.0 || !in_window[v]) continue;
       if (out_degree[v] == 0) {
         dangling += p[v];
+        ++flops;
         continue;
       }
       const double share = (1.0 - alpha) * p[v] / out_degree[v];
+      flops += 2 + static_cast<uint64_t>(out_degree[v]);
       for (const graph::AdjEntry& adj : g.neighbors(v)) {
         if (in_window[adj.to]) next[adj.to] += share;
       }
@@ -134,9 +170,11 @@ std::vector<double> RwrStationaryDistribution(const graph::Graph& g,
     for (graph::VertexId v = 0; v < g.num_vertices(); ++v) {
       delta += std::abs(next[v] - p[v]);
     }
+    flops += 2 * static_cast<uint64_t>(g.num_vertices());
     p.swap(next);
     if (delta < config.epsilon) break;
   }
+  RwrMetrics::Get().Flush(iters, flops);
   return p;
 }
 
@@ -221,6 +259,7 @@ std::vector<NodeVector> DatabaseToVectors(const graph::GraphDatabase& db,
                                           const FeatureSpace& features,
                                           const RwrConfig& config,
                                           int num_threads) {
+  GS_TRACE_SPAN_NAMED(span, "features/vectorize");
   // Pre-size the output so each graph writes a disjoint slice and the
   // result is independent of scheduling.
   std::vector<size_t> offsets(db.size() + 1, 0);
@@ -235,6 +274,7 @@ std::vector<NodeVector> DatabaseToVectors(const graph::GraphDatabase& db,
       out[offsets[i] + k] = std::move(vectors[k]);
     }
   });
+  span.AddWork(offsets.back());  // one unit per node vector produced
   return out;
 }
 

@@ -6,6 +6,8 @@
 
 #include "fsm/dfs_code.h"
 #include "fsm/miner.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "util/check.h"
 #include "util/timer.h"
 
@@ -256,8 +258,20 @@ class GSpanMiner {
 MineResult MineFrequentGSpan(const GraphDatabase& db,
                              const MinerConfig& config) {
   GS_CHECK_GE(config.min_support, 1);
+  GS_TRACE_SPAN_NAMED(span, "mine/fsm/gspan");
   GSpanMiner miner(db, config);
-  return miner.Run();
+  MineResult result = miner.Run();
+  // Candidate totals come straight out of the single-threaded search,
+  // so they are deterministic work counters (DESIGN.md §12).
+  auto& registry = obs::MetricsRegistry::Global();
+  static obs::Counter* const candidates =
+      registry.GetCounter("gspan/candidates");
+  static obs::Counter* const patterns =
+      registry.GetCounter("gspan/patterns");
+  candidates->Add(result.states_expanded);
+  patterns->Add(result.patterns.size());
+  span.AddWork(result.states_expanded);
+  return result;
 }
 
 }  // namespace graphsig::fsm

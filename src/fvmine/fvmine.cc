@@ -1,5 +1,7 @@
 #include "fvmine/fvmine.h"
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "util/check.h"
 #include "util/timer.h"
 
@@ -7,6 +9,28 @@ namespace graphsig::fvmine {
 namespace {
 
 using features::FeatureVec;
+
+// Deterministic work counters for the closed-vector search (DESIGN.md
+// §12). The recursion accumulates into Searcher locals and flushes once
+// per FvMine() call — the hot path never touches an atomic.
+struct FvMineMetrics {
+  obs::Counter* expansions;       // Search() states entered
+  obs::Counter* support_checks;   // S' supporting-set scans
+  obs::Counter* ceiling_prunes;   // subtrees cut by the optimistic bound
+  obs::Counter* duplicate_prunes; // states reachable from earlier branches
+  obs::Counter* significant;      // vectors emitted
+
+  static const FvMineMetrics& Get() {
+    auto& registry = obs::MetricsRegistry::Global();
+    static const FvMineMetrics m = {
+        registry.GetCounter("fvmine/expansions"),
+        registry.GetCounter("fvmine/support_checks"),
+        registry.GetCounter("fvmine/ceiling_prunes"),
+        registry.GetCounter("fvmine/duplicate_prunes"),
+        registry.GetCounter("fvmine/significant_vectors")};
+    return m;
+  }
+};
 
 class Searcher {
  public:
@@ -20,6 +44,7 @@ class Searcher {
   }
 
   FvMineResult Run() {
+    GS_TRACE_SPAN_NAMED(span, "mine/fvmine");
     std::vector<int32_t> all(population_.size());
     for (size_t i = 0; i < all.size(); ++i) all[i] = static_cast<int32_t>(i);
     FeatureVec x;
@@ -28,6 +53,13 @@ class Searcher {
       Search(x, all, 0);
     }
     result_.completed = !stopped_;
+    span.AddWork(static_cast<uint64_t>(result_.states_explored));
+    const FvMineMetrics& m = FvMineMetrics::Get();
+    m.expansions->Add(static_cast<uint64_t>(result_.states_explored));
+    m.support_checks->Add(support_checks_);
+    m.ceiling_prunes->Add(ceiling_prunes_);
+    m.duplicate_prunes->Add(duplicate_prunes_);
+    m.significant->Add(result_.vectors.size());
     return std::move(result_);
   }
 
@@ -65,6 +97,7 @@ class Searcher {
 
     for (size_t i = b; i < width_; ++i) {
       // S' = vectors of S strictly above x on feature i.
+      ++support_checks_;
       std::vector<int32_t> s_prime;
       for (int32_t idx : s) {
         if ((*population_[idx])[i] > x[i]) s_prime.push_back(idx);
@@ -83,7 +116,10 @@ class Searcher {
           break;
         }
       }
-      if (duplicate) continue;
+      if (duplicate) {
+        ++duplicate_prunes_;
+        continue;
+      }
       if (config_.use_ceiling_prune) {
         // Optimistic bound: no descendant can beat the ceiling's p-value
         // at the current support. The ceiling is consumed immediately,
@@ -91,7 +127,10 @@ class Searcher {
         features::CeilingInto(population_, s_prime, &ceiling_buffer_);
         const double best_possible = Evaluate(
             ceiling_buffer_, static_cast<int64_t>(s_prime.size()));
-        if (best_possible >= config_.max_pvalue) continue;
+        if (best_possible >= config_.max_pvalue) {
+          ++ceiling_prunes_;
+          continue;
+        }
       }
       Search(x_prime, s_prime, i);
       if (stopped_) return;
@@ -106,6 +145,10 @@ class Searcher {
   util::WallTimer timer_;
   FeatureVec ceiling_buffer_;
   bool stopped_ = false;
+  // Local work tallies, flushed to the registry once in Run().
+  uint64_t support_checks_ = 0;
+  uint64_t ceiling_prunes_ = 0;
+  uint64_t duplicate_prunes_ = 0;
 };
 
 }  // namespace

@@ -34,11 +34,12 @@ util::Status Client::Connect() {
 }
 
 util::Status Client::SendFrame(wire::MessageType type,
-                               std::string_view payload) {
+                               std::string_view payload,
+                               uint8_t version) {
   if (!connected()) {
     return util::Status::FailedPrecondition("client is not connected");
   }
-  return WriteAll(socket_.fd(), wire::EncodeFrame(type, payload));
+  return WriteAll(socket_.fd(), wire::EncodeFrame(type, payload, version));
 }
 
 util::Result<wire::Frame> Client::ReadFrame() {
@@ -68,7 +69,8 @@ util::Result<wire::Frame> Client::ReadFrame() {
 }
 
 util::Result<wire::Frame> Client::RoundTrip(wire::MessageType type,
-                                            const std::string& payload) {
+                                            const std::string& payload,
+                                            uint8_t version) {
   util::Status last = util::Status::Ok();
   for (int attempt = 0; attempt <= config_.max_reconnect_attempts;
        ++attempt) {
@@ -79,7 +81,7 @@ util::Result<wire::Frame> Client::RoundTrip(wire::MessageType type,
         continue;
       }
     }
-    util::Status sent = SendFrame(type, payload);
+    util::Status sent = SendFrame(type, payload, version);
     if (sent.ok()) {
       auto frame = ReadFrame();
       if (frame.ok()) return frame;
@@ -185,9 +187,17 @@ util::Result<std::vector<wire::QueryReply>> Client::PipelineQueries(
   return replies;
 }
 
-util::Result<wire::StatsReply> Client::Stats() {
-  GS_ASSIGN_OR_RETURN(wire::Frame raw,
-                      RoundTrip(wire::MessageType::kStats, ""));
+util::Result<wire::StatsReply> Client::Stats(uint8_t version) {
+  wire::StatsRequest request;
+  request.version = version;
+  const std::string payload = wire::EncodeStatsRequest(request);
+  // A version-byte payload is a v2 construct, so the frame is stamped
+  // v2; the plain (empty) request stays on v1 frames and old servers
+  // keep accepting it.
+  GS_ASSIGN_OR_RETURN(
+      wire::Frame raw,
+      RoundTrip(wire::MessageType::kStats, payload,
+                payload.empty() ? wire::kBaseWireVersion : uint8_t{2}));
   GS_ASSIGN_OR_RETURN(
       wire::Frame frame,
       ExpectType(std::move(raw), wire::MessageType::kStatsReply));

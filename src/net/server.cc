@@ -10,6 +10,7 @@
 #include <utility>
 #include <vector>
 
+#include "obs/metrics.h"
 #include "util/logging.h"
 #include "util/strings.h"
 #include "util/timer.h"
@@ -17,6 +18,51 @@
 namespace graphsig::net {
 
 namespace {
+
+// Per-frame-type arrival counters. For a fixed workload the stream of
+// request frames is deterministic, so these are work counters and land
+// in the CI baseline (DESIGN.md §12). One static per case keeps the
+// hot path at a single relaxed add after first use.
+obs::Counter* FrameTypeCounter(wire::MessageType type) {
+  auto& registry = obs::MetricsRegistry::Global();
+  switch (type) {
+    case wire::MessageType::kQuery: {
+      static obs::Counter* const c = registry.GetCounter("net/frames/query");
+      return c;
+    }
+    case wire::MessageType::kBatchQuery: {
+      static obs::Counter* const c =
+          registry.GetCounter("net/frames/batch_query");
+      return c;
+    }
+    case wire::MessageType::kStats: {
+      static obs::Counter* const c = registry.GetCounter("net/frames/stats");
+      return c;
+    }
+    case wire::MessageType::kHealth: {
+      static obs::Counter* const c =
+          registry.GetCounter("net/frames/health");
+      return c;
+    }
+    default: {
+      // Reply/error types arriving as requests; counted, then rejected
+      // by DispatchRequest.
+      static obs::Counter* const c = registry.GetCounter("net/frames/other");
+      return c;
+    }
+  }
+}
+
+// Reply sizes depend on scheduling only in their interleaving, but the
+// histogram is advisory anyway: CI asserts on counts of frames, not
+// byte distributions.
+obs::Histogram* ReplyBytesHistogram() {
+  static obs::Histogram* const h =
+      obs::MetricsRegistry::Global().GetHistogram(
+          "net/reply_bytes",
+          {64, 256, 1024, 4096, 16384, 65536, 262144, 1048576});
+  return h;
+}
 
 // epoll user-data sentinels; real connections start at id 2.
 constexpr uint64_t kListenerId = 0;
@@ -113,12 +159,25 @@ util::Status Server::Serve() {
 
 util::Status Server::ServeLoop() {
   util::WallTimer drain_timer;
+  util::WallTimer stats_log_timer;
   std::array<epoll_event, 64> events;
   while (!(drain_started_ && connections_.empty() &&
            inflight_total_ == 0)) {
     // Block indefinitely in steady state; tick during drain so the
-    // force-close deadline fires even with no socket activity.
-    const int timeout_ms = drain_started_ ? 50 : -1;
+    // force-close deadline fires even with no socket activity. With
+    // periodic stats logging enabled, wake at least often enough that
+    // the next line is at most half a period late on an idle server.
+    int timeout_ms = drain_started_ ? 50 : -1;
+    if (config_.stats_log_period_seconds > 0.0) {
+      if (stats_log_timer.ElapsedSeconds() >=
+          config_.stats_log_period_seconds) {
+        LogStatsLine();
+        stats_log_timer.Restart();
+      }
+      const int tick_ms = static_cast<int>(
+          config_.stats_log_period_seconds * 500.0) + 1;
+      if (timeout_ms < 0 || tick_ms < timeout_ms) timeout_ms = tick_ms;
+    }
     const int n = ::epoll_wait(epoll_.fd(), events.data(),
                                static_cast<int>(events.size()),
                                timeout_ms);
@@ -265,6 +324,7 @@ void Server::ConsumeFrames(uint64_t id, Connection* conn) {
       util::MutexLock lock(&counters_mutex_);
       ++counters_.frames_received;
     }
+    FrameTypeCounter(next.value()->type)->Increment();
     DispatchRequest(id, conn, std::move(*next.value()));
   }
 }
@@ -278,7 +338,8 @@ void Server::DispatchRequest(uint64_t id, Connection* conn,
       // control means monitoring still works while the server sheds
       // query load. They still claim a reply slot so pipelined replies
       // keep request order.
-      QueueReply(conn, AllocateReplySlot(conn), ProcessStats());
+      QueueReply(conn, AllocateReplySlot(conn),
+                 ProcessStats(frame.payload));
       return;
     case wire::MessageType::kHealth:
       QueueReply(conn, AllocateReplySlot(conn), ProcessHealth());
@@ -371,7 +432,9 @@ std::string Server::ProcessBatchQuery(std::string_view payload) {
                            wire::EncodeBatchQueryReply(replies));
 }
 
-std::string Server::ProcessStats() {
+std::string Server::ProcessStats(std::string_view payload) {
+  auto request = wire::DecodeStatsRequest(payload);
+  if (!request.ok()) return ErrorFrame(request.status());
   wire::StatsReply reply;
   reply.serving = catalog_->Snapshot();
   const ServerCounters counters = this->counters();
@@ -381,8 +444,19 @@ std::string Server::ProcessStats() {
   reply.requests_served = counters.requests_served;
   reply.protocol_errors = counters.protocol_errors;
   reply.retries_sent = counters.retries_sent;
+  if (request.value().version >= 2) {
+    // v2 extension: export the process's deterministic work counters
+    // by name. The map is already sorted, so the section is stable.
+    for (const auto& [name, value] :
+         obs::MetricsRegistry::Global().WorkValues()) {
+      reply.work_counters.emplace_back(name, value);
+    }
+  }
+  // Stamp the lowest version able to carry the payload: a v1 client
+  // gets a v1 frame it can decode even though the server speaks v2.
   return wire::EncodeFrame(wire::MessageType::kStatsReply,
-                           wire::EncodeStatsReply(reply));
+                           wire::EncodeStatsReply(reply),
+                           wire::StatsReplyWireVersion(reply));
 }
 
 std::string Server::ProcessHealth() {
@@ -394,6 +468,26 @@ std::string Server::ProcessHealth() {
   reply.has_classifier = catalog_->has_classifier();
   return wire::EncodeFrame(wire::MessageType::kHealthReply,
                            wire::EncodeHealthReply(reply));
+}
+
+void Server::LogStatsLine() {
+  const ServerCounters counters = this->counters();
+  const serve::ServingStats serving = catalog_->Snapshot();
+  // One line, valid JSON after the "stats: " prefix, so log scrapers
+  // can parse it without a bespoke format.
+  util::LogInfo(util::StrPrintf(
+      "stats: {\"connections_active\": %llu, \"frames_received\": %llu, "
+      "\"requests_served\": %llu, \"protocol_errors\": %llu, "
+      "\"retries_sent\": %llu, \"queries\": %lld, \"iso_calls\": %lld, "
+      "\"pattern_matches\": %lld}",
+      static_cast<unsigned long long>(counters.connections_active),
+      static_cast<unsigned long long>(counters.frames_received),
+      static_cast<unsigned long long>(counters.requests_served),
+      static_cast<unsigned long long>(counters.protocol_errors),
+      static_cast<unsigned long long>(counters.retries_sent),
+      static_cast<long long>(serving.queries),
+      static_cast<long long>(serving.iso_calls),
+      static_cast<long long>(serving.pattern_matches)));
 }
 
 void Server::PushCompletion(uint64_t conn_id, uint64_t seq,
@@ -448,6 +542,7 @@ void Server::QueueReply(Connection* conn, uint64_t seq, std::string frame) {
 
 void Server::SendFrame(Connection* conn, std::string frame) {
   if (conn->broken) return;
+  ReplyBytesHistogram()->Observe(frame.size());
   conn->outbuf.append(frame);
   FlushWrites(conn);
 }

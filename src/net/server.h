@@ -62,6 +62,10 @@ struct ServerConfig {
   int batch_threads = 0;
   // Force-close straggling connections this long after drain starts.
   double drain_timeout_seconds = 5.0;
+  // Emit one structured "stats:" log line this often (0 = disabled).
+  // The line carries the transport counters and serving totals, so a
+  // long-running server leaves a coarse utilization trace in its logs.
+  double stats_log_period_seconds = 0.0;
 };
 
 // Transport-level counters, readable from any thread.
@@ -151,8 +155,11 @@ class Server {
   std::string ProcessRequest(const wire::Frame& frame);
   std::string ProcessQuery(std::string_view payload);
   std::string ProcessBatchQuery(std::string_view payload);
-  std::string ProcessStats();
+  std::string ProcessStats(std::string_view payload);
   std::string ProcessHealth();
+  // One structured log line with the current counters (see
+  // ServerConfig::stats_log_period_seconds).
+  void LogStatsLine();
   void PushCompletion(uint64_t conn_id, uint64_t seq, std::string frame);
   void DrainCompletions();
   // Claims the next in-order reply slot for a request on `conn`.
@@ -184,7 +191,9 @@ class Server {
   bool drain_started_ = false;
   double drain_deadline_seconds_ = 0.0;
 
-  std::atomic<bool> shutdown_requested_{false};
+  // Not a metric: this is the async-signal-safe shutdown flag, and a
+  // registry lookup is not signal-safe.
+  std::atomic<bool> shutdown_requested_{false};  // lint:allow=adhoc-atomic
 
   mutable util::Mutex counters_mutex_;
   ServerCounters counters_ GS_GUARDED_BY(counters_mutex_);

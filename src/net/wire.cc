@@ -4,6 +4,7 @@
 
 #include "graph/serialize.h"
 #include "util/binary.h"
+#include "util/check.h"
 #include "util/strings.h"
 
 namespace graphsig::net::wire {
@@ -127,10 +128,13 @@ bool IsKnownType(uint8_t raw) {
 
 }  // namespace
 
-std::string EncodeFrame(MessageType type, std::string_view payload) {
+std::string EncodeFrame(MessageType type, std::string_view payload,
+                        uint8_t version) {
+  GS_CHECK_GE(version, kBaseWireVersion);
+  GS_CHECK_LE(version, kWireVersion);
   util::ByteWriter w;
   w.WriteU32(kMagic);
-  w.WriteU8(kWireVersion);
+  w.WriteU8(version);
   w.WriteU8(static_cast<uint8_t>(type));
   w.WriteU16(0);  // reserved
   w.WriteU32(static_cast<uint32_t>(payload.size()));
@@ -171,6 +175,11 @@ util::Result<std::optional<Frame>> FrameDecoder::Next() {
     return util::Status::FailedPrecondition(util::StrPrintf(
         "frame version %u newer than supported %u", version, kWireVersion));
   }
+  if (version < kBaseWireVersion) {
+    return util::Status::ParseError(
+        util::StrPrintf("frame version %u below minimum %u", version,
+                        kBaseWireVersion));
+  }
   if (reserved != 0) {
     return util::Status::ParseError(util::StrPrintf(
         "reserved frame header bits set: 0x%04x", reserved));
@@ -189,6 +198,7 @@ util::Result<std::optional<Frame>> FrameDecoder::Next() {
   }
   Frame frame;
   frame.type = static_cast<MessageType>(raw_type);
+  frame.version = version;
   frame.payload.assign(pending.substr(kFrameHeaderBytes, payload_size));
   if (util::Crc32(frame.payload) != payload_crc) {
     return util::Status::ParseError(util::StrPrintf(
@@ -276,6 +286,33 @@ util::Result<std::vector<QueryReply>> DecodeBatchQueryReply(
   return replies;
 }
 
+std::string EncodeStatsRequest(const StatsRequest& request) {
+  // The v1 encoding is the empty payload; a version byte below 2 would
+  // be a second spelling of the same request, so it is never emitted.
+  if (request.version <= kBaseWireVersion) return std::string();
+  util::ByteWriter w;
+  w.WriteU8(request.version);
+  return std::move(w.TakeBuffer());
+}
+
+util::Result<StatsRequest> DecodeStatsRequest(std::string_view payload) {
+  StatsRequest request;
+  if (payload.empty()) return request;  // v1 client
+  util::ByteReader reader(payload, "stats request");
+  GS_RETURN_IF_ERROR(reader.ReadU8(&request.version));
+  if (request.version <= kBaseWireVersion) {
+    // Non-canonical: version 1 is spelled as the empty payload.
+    return util::Status::ParseError(util::StrPrintf(
+        "stats request version byte %u must be >= 2", request.version));
+  }
+  GS_RETURN_IF_ERROR(ExpectExhausted(reader));
+  return request;
+}
+
+uint8_t StatsReplyWireVersion(const StatsReply& reply) {
+  return reply.work_counters.empty() ? kBaseWireVersion : uint8_t{2};
+}
+
 std::string EncodeStatsReply(const StatsReply& reply) {
   util::ByteWriter w;
   w.WriteI64(reply.serving.queries);
@@ -290,6 +327,16 @@ std::string EncodeStatsReply(const StatsReply& reply) {
   w.WriteU64(reply.requests_served);
   w.WriteU64(reply.protocol_errors);
   w.WriteU64(reply.retries_sent);
+  // v2 work-counter section. An empty section is encoded as *nothing*
+  // (not a zero count), so the empty reply stays byte-identical to v1
+  // and keeps decoding on old peers.
+  if (!reply.work_counters.empty()) {
+    w.WriteU32(static_cast<uint32_t>(reply.work_counters.size()));
+    for (const auto& [name, value] : reply.work_counters) {
+      w.WriteString(name);
+      w.WriteU64(value);
+    }
+  }
   return std::move(w.TakeBuffer());
 }
 
@@ -308,6 +355,27 @@ util::Result<StatsReply> DecodeStatsReply(std::string_view payload) {
   GS_RETURN_IF_ERROR(reader.ReadU64(&reply.requests_served));
   GS_RETURN_IF_ERROR(reader.ReadU64(&reply.protocol_errors));
   GS_RETURN_IF_ERROR(reader.ReadU64(&reply.retries_sent));
+  if (reader.exhausted()) return reply;  // v1 reply: no counter section
+  uint32_t count = 0;
+  GS_RETURN_IF_ERROR(reader.ReadU32(&count));
+  if (count == 0) {
+    return util::Status::ParseError(
+        "stats reply counter section present but empty (non-canonical)");
+  }
+  // Each entry costs at least 12 bytes (u32 name length + u64 value), so
+  // a count the buffer cannot back is rejected before any allocation.
+  if (count > reader.remaining() / 12) {
+    return util::Status::ParseError(util::StrPrintf(
+        "work counter count %u exceeds remaining payload", count));
+  }
+  reply.work_counters.reserve(count);
+  for (uint32_t i = 0; i < count; ++i) {
+    std::string name;
+    uint64_t value = 0;
+    GS_RETURN_IF_ERROR(reader.ReadString(&name));
+    GS_RETURN_IF_ERROR(reader.ReadU64(&value));
+    reply.work_counters.emplace_back(std::move(name), value);
+  }
   GS_RETURN_IF_ERROR(ExpectExhausted(reader));
   return reply;
 }

@@ -12,12 +12,20 @@
 // Frame layout (header is kFrameHeaderBytes = 16 bytes):
 //
 //   offset 0   u32 magic        0x31575347 ("GSW1" as bytes G S W 1)
-//   offset 4   u8  version      kWireVersion; peers reject newer
+//   offset 4   u8  version      see below; peers reject newer
 //   offset 5   u8  type         MessageType
 //   offset 6   u16 reserved     must be zero
 //   offset 8   u32 payload size (bounded by the decoder's max)
 //   offset 12  u32 payload CRC-32
 //   offset 16  payload bytes
+//
+// Versioning (DESIGN.md §12): kWireVersion is the newest version this
+// build understands; a frame is stamped with the LOWEST version whose
+// decoder understands its payload, so a v1 peer keeps interoperating
+// until someone actually uses a v2 feature. Version history:
+//   v1  original protocol
+//   v2  Stats request may carry a version byte; StatsReply may append a
+//       named work-counter section (obs::MetricsRegistry export)
 //
 // Every reply payload is a pure function of the request and the served
 // catalog — server-side latency is deliberately *not* in QueryReply (it
@@ -30,6 +38,7 @@
 #include <optional>
 #include <string>
 #include <string_view>
+#include <utility>
 #include <vector>
 
 #include "graph/graph.h"
@@ -39,7 +48,11 @@
 namespace graphsig::net::wire {
 
 inline constexpr uint32_t kMagic = 0x31575347;  // "GSW1"
-inline constexpr uint8_t kWireVersion = 1;
+// Newest protocol version this build speaks (and the oldest that still
+// interoperates: every v1 byte stream is valid v2).
+inline constexpr uint8_t kWireVersion = 2;
+// Version stamped on frames that use no post-v1 feature.
+inline constexpr uint8_t kBaseWireVersion = 1;
 inline constexpr size_t kFrameHeaderBytes = 16;
 // Default cap on one frame's payload; a header announcing more is a
 // protocol error, not an allocation.
@@ -72,11 +85,16 @@ const char* MessageTypeName(MessageType type);
 struct Frame {
   MessageType type = MessageType::kError;
   std::string payload;
+  // Header version the sender stamped (<= kWireVersion once decoded).
+  uint8_t version = kBaseWireVersion;
 };
 
 // Serializes a complete frame (header + payload) ready to write to a
-// socket.
-std::string EncodeFrame(MessageType type, std::string_view payload);
+// socket. `version` must be in [kBaseWireVersion, kWireVersion]; stamp
+// the lowest version able to decode the payload so old peers keep
+// accepting frames that use no new feature.
+std::string EncodeFrame(MessageType type, std::string_view payload,
+                        uint8_t version = kBaseWireVersion);
 
 // Incremental frame parser for a byte stream. Feed arbitrary chunks
 // with Append(); Next() yields completed frames in order, nullopt when
@@ -138,8 +156,22 @@ struct QueryReply {
   bool operator==(const QueryReply&) const = default;
 };
 
+// Stats request. v1 clients send an empty payload; v2 clients send one
+// version byte asking for the extended reply. The empty encoding IS the
+// v1 encoding, so old servers still accept new clients that ask for v1.
+struct StatsRequest {
+  uint8_t version = kBaseWireVersion;
+
+  bool operator==(const StatsRequest&) const = default;
+};
+
 // Serving counters over the wire: the catalog's cumulative ServingStats
-// snapshot plus the server's own transport counters.
+// snapshot plus the server's own transport counters. Since wire v2 the
+// reply may also carry the server's named deterministic work counters
+// (obs::MetricsRegistry::WorkValues()); `work_counters` stays empty for
+// v1 peers and the encoding of an empty section is byte-identical to
+// v1, so EncodeStatsReply picks the frame version from the value (see
+// StatsReplyWireVersion).
 struct StatsReply {
   serve::ServingStats serving;
   uint64_t connections_accepted = 0;
@@ -148,7 +180,12 @@ struct StatsReply {
   uint64_t requests_served = 0;
   uint64_t protocol_errors = 0;
   uint64_t retries_sent = 0;
+  std::vector<std::pair<std::string, uint64_t>> work_counters;
 };
+
+// Lowest frame version able to carry this reply: kBaseWireVersion when
+// work_counters is empty, 2 otherwise. Pass to EncodeFrame.
+uint8_t StatsReplyWireVersion(const StatsReply& reply);
 
 struct HealthReply {
   bool ok = false;
@@ -182,6 +219,9 @@ util::Result<QueryReply> DecodeQueryReply(std::string_view payload);
 std::string EncodeBatchQueryReply(const std::vector<QueryReply>& replies);
 util::Result<std::vector<QueryReply>> DecodeBatchQueryReply(
     std::string_view payload);
+
+std::string EncodeStatsRequest(const StatsRequest& request);
+util::Result<StatsRequest> DecodeStatsRequest(std::string_view payload);
 
 std::string EncodeStatsReply(const StatsReply& reply);
 util::Result<StatsReply> DecodeStatsReply(std::string_view payload);

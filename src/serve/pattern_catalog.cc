@@ -5,6 +5,7 @@
 #include <limits>
 
 #include "graph/isomorphism.h"
+#include "obs/metrics.h"
 #include "util/parallel.h"
 #include "util/timer.h"
 
@@ -172,6 +173,28 @@ QueryResult PatternCatalog::Query(const graph::Graph& query,
     result.has_score = true;
   }
   result.latency_ms = timer.ElapsedMillis();
+  {
+    // Per-query totals are pure functions of (query, catalog), so the
+    // registry copies are deterministic work counters; the latency
+    // histogram is advisory (DESIGN.md §12).
+    auto& registry = obs::MetricsRegistry::Global();
+    static obs::Counter* const queries =
+        registry.GetCounter("serve/queries");
+    static obs::Counter* const iso_calls =
+        registry.GetCounter("serve/iso_calls");
+    static obs::Counter* const pruned = registry.GetCounter("serve/pruned");
+    static obs::Counter* const matches =
+        registry.GetCounter("serve/pattern_matches");
+    static obs::Histogram* const latency_us = registry.GetHistogram(
+        "serve/query_latency_us",
+        {50, 100, 250, 500, 1000, 2500, 5000, 10000, 25000, 50000, 100000,
+         500000});
+    queries->Increment();
+    iso_calls->Add(static_cast<uint64_t>(result.iso_calls));
+    pruned->Add(static_cast<uint64_t>(result.pruned));
+    matches->Add(result.matched_patterns.size());
+    latency_us->Observe(static_cast<uint64_t>(result.latency_ms * 1000.0));
+  }
   {
     util::MutexLock lock(&counters_->mutex);
     ServingStats& stats = counters_->stats;

@@ -4,10 +4,29 @@
 #include <chrono>
 #include <utility>
 
+#include "obs/metrics.h"
 #include "util/parallel.h"
 
 namespace graphsig::util {
 namespace {
+
+// Scheduling telemetry. Task counts and queue depth depend on how the
+// OS interleaves workers, so these are ADVISORY metrics — never work
+// counters (DESIGN.md §12).
+struct PoolMetrics {
+  obs::Counter* submitted;
+  obs::Counter* executed;
+  obs::Gauge* queue_depth_hwm;
+
+  static const PoolMetrics& Get() {
+    auto& registry = obs::MetricsRegistry::Global();
+    static const PoolMetrics m = {
+        registry.GetAdvisoryCounter("pool/tasks_submitted"),
+        registry.GetAdvisoryCounter("pool/tasks_executed"),
+        registry.GetGauge("pool/queue_depth_hwm")};
+    return m;
+  }
+};
 
 // Identifies the pool (and worker slot) the current thread belongs to,
 // so Submit() can route a worker's own submissions to its own deque and
@@ -57,7 +76,10 @@ void ThreadPool::Submit(std::function<void()> task) {
     MutexLock lock(&deques_[index]->mutex);
     deques_[index]->tasks.push_back(std::move(task));
   }
-  queued_.fetch_add(1, std::memory_order_release);
+  const int64_t depth = queued_.fetch_add(1, std::memory_order_release) + 1;
+  const PoolMetrics& metrics = PoolMetrics::Get();
+  metrics.submitted->Increment();
+  metrics.queue_depth_hwm->UpdateMax(depth);
   // Empty critical section: a worker between its queue check and its
   // cv wait holds sleep_mutex_, so this cannot slip past it unseen.
   { MutexLock lock(&sleep_mutex_); }
@@ -92,6 +114,7 @@ bool ThreadPool::TryRunTask(size_t home_index) {
     }
     if (!found) return false;
   }
+  PoolMetrics::Get().executed->Increment();
   task();
   return true;
 }

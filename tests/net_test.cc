@@ -241,6 +241,101 @@ TEST(WireFrameTest, TruncatedFrameParksAsNeedsMore) {
   EXPECT_EQ(completed.value()->payload, "payload");
 }
 
+// ---------------------------------------------------------------------
+// Wire versioning (v2 added the stats work-counter extension). Frames
+// carry the LOWEST version whose decoder understands the payload, so a
+// v1 peer keeps interoperating until someone explicitly asks for v2.
+
+TEST(WireVersionTest, FrameCarriesItsVersion) {
+  const std::string v1 = wire::EncodeFrame(wire::MessageType::kHealth, "x");
+  const std::string v2 =
+      wire::EncodeFrame(wire::MessageType::kStats, "y", /*version=*/2);
+  wire::FrameDecoder decoder;
+  decoder.Append(v1);
+  decoder.Append(v2);
+  auto first = decoder.Next();
+  ASSERT_TRUE(first.ok());
+  ASSERT_TRUE(first.value().has_value());
+  EXPECT_EQ(first.value()->version, wire::kBaseWireVersion);
+  auto second = decoder.Next();
+  ASSERT_TRUE(second.ok());
+  ASSERT_TRUE(second.value().has_value());
+  EXPECT_EQ(second.value()->version, 2);
+}
+
+TEST(WireVersionTest, RejectsVersionsOutsideTheSupportedRange) {
+  std::string frame = wire::EncodeFrame(wire::MessageType::kHealth, "ok");
+  {  // Above kWireVersion (a future sender): refuse rather than guess.
+    std::string bad = frame;
+    bad[4] = static_cast<char>(wire::kWireVersion + 1);
+    wire::FrameDecoder decoder;
+    decoder.Append(bad);
+    EXPECT_FALSE(decoder.Next().ok());
+  }
+  {  // Below kBaseWireVersion: version 0 never existed on this wire.
+    std::string bad = frame;
+    bad[4] = 0;
+    wire::FrameDecoder decoder;
+    decoder.Append(bad);
+    EXPECT_FALSE(decoder.Next().ok());
+  }
+}
+
+TEST(WireVersionTest, StatsRequestEncodesCanonically) {
+  // The v1 request is the empty payload a pre-v2 client sends.
+  wire::StatsRequest v1;
+  EXPECT_EQ(wire::EncodeStatsRequest(v1), "");
+  auto v1_again = wire::DecodeStatsRequest("");
+  ASSERT_TRUE(v1_again.ok());
+  EXPECT_EQ(v1_again.value().version, wire::kBaseWireVersion);
+
+  wire::StatsRequest v2;
+  v2.version = 2;
+  const std::string encoded = wire::EncodeStatsRequest(v2);
+  ASSERT_EQ(encoded.size(), 1u);
+  auto v2_again = wire::DecodeStatsRequest(encoded);
+  ASSERT_TRUE(v2_again.ok());
+  EXPECT_EQ(v2_again.value().version, 2);
+
+  // A spelled-out v1 version byte is non-canonical (v1 is the empty
+  // payload); accepting both spellings would break the fuzzer's
+  // encode(decode(x)) == x pinning.
+  EXPECT_FALSE(wire::DecodeStatsRequest(std::string(1, '\x01')).ok());
+}
+
+TEST(WireVersionTest, StatsReplyBackwardCompatibleDecode) {
+  wire::StatsReply reply;
+  reply.serving.queries = 3;
+  reply.connections_accepted = 1;
+  reply.frames_received = 5;
+  reply.requests_served = 3;
+
+  // Without work counters the encoding IS the v1 payload: an old client
+  // decodes it unchanged, and the frame is stamped v1.
+  EXPECT_EQ(wire::StatsReplyWireVersion(reply), wire::kBaseWireVersion);
+  const std::string v1_bytes = wire::EncodeStatsReply(reply);
+  auto v1_again = wire::DecodeStatsReply(v1_bytes);
+  ASSERT_TRUE(v1_again.ok());
+  EXPECT_TRUE(v1_again.value().work_counters.empty());
+  EXPECT_EQ(v1_again.value().serving.queries, 3);
+
+  reply.work_counters = {{"fvmine/expansions", 42}, {"rwr/float_ops", 7}};
+  EXPECT_EQ(wire::StatsReplyWireVersion(reply), 2);
+  const std::string v2_bytes = wire::EncodeStatsReply(reply);
+  // The v2 encoding extends the v1 payload in place: same prefix, the
+  // counter section appended after it.
+  ASSERT_GT(v2_bytes.size(), v1_bytes.size());
+  EXPECT_EQ(v2_bytes.substr(0, v1_bytes.size()), v1_bytes);
+  auto v2_again = wire::DecodeStatsReply(v2_bytes);
+  ASSERT_TRUE(v2_again.ok());
+  EXPECT_EQ(v2_again.value().work_counters, reply.work_counters);
+
+  // An explicit zero-count section is non-canonical (the canonical
+  // spelling of "no counters" is the bare v1 payload) — reject it.
+  std::string zero_section = v1_bytes + std::string(4, '\0');
+  EXPECT_FALSE(wire::DecodeStatsReply(zero_section).ok());
+}
+
 TEST(WireCodecTest, TypedMessagesRoundTrip) {
   const Fixture& f = SharedFixture();
 
@@ -426,6 +521,43 @@ TEST(NetServerTest, StatsAndHealthServeInline) {
   EXPECT_GE(stats.value().frames_received, 2u);
   EXPECT_EQ(stats.value().protocol_errors, 0u);
   EXPECT_GE(stats.value().connections_active, 1u);
+}
+
+TEST(NetServerTest, StatsVersionNegotiation) {
+  const Fixture& f = SharedFixture();
+  TestServer server;
+  Client client(MakeClientConfig(server.port()));
+  ASSERT_TRUE(client.Connect().ok());
+  ASSERT_TRUE(client.Query(f.db.graph(0)).ok());
+
+  // A v1 request (what a pre-v2 client puts on the wire) gets the v1
+  // reply shape: no work-counter section, everything else filled in.
+  auto v1 = client.Stats(wire::kBaseWireVersion);
+  ASSERT_TRUE(v1.ok()) << v1.status().ToString();
+  EXPECT_TRUE(v1.value().work_counters.empty());
+  EXPECT_GE(v1.value().requests_served, 1u);
+
+  // The default (v2) request returns the server's named work counters,
+  // including the registry entries this very workload just bumped.
+  auto v2 = client.Stats();
+  ASSERT_TRUE(v2.ok()) << v2.status().ToString();
+  ASSERT_FALSE(v2.value().work_counters.empty());
+  uint64_t serve_queries = 0, stats_frames = 0;
+  bool saw_queries = false, saw_stats_frames = false;
+  for (const auto& [name, value] : v2.value().work_counters) {
+    if (name == "serve/queries") {
+      serve_queries = value;
+      saw_queries = true;
+    }
+    if (name == "net/frames/stats") {
+      stats_frames = value;
+      saw_stats_frames = true;
+    }
+  }
+  EXPECT_TRUE(saw_queries);
+  EXPECT_GE(serve_queries, 1u);
+  EXPECT_TRUE(saw_stats_frames);
+  EXPECT_GE(stats_frames, 2u);  // the v1 request above plus this one
 }
 
 // Writes raw bytes and expects an Error frame followed by EOF — the

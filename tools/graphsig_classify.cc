@@ -30,7 +30,7 @@ int main(int argc, char** argv) {
                  "usage: graphsig_classify --train=FILE --test=FILE "
                  "[--format=smiles|sdf|gspan] [--k=9] [--max-pvalue=P] "
                  "[--min-freq=F%%] [--threads=N (0 = auto)] "
-                 "[--predictions=FILE]\n");
+                 "[--predictions=FILE] [--metrics-out=FILE]\n");
     return 1;
   }
   const std::string format = flags.GetString("format", "smiles");
@@ -82,6 +82,13 @@ int main(int argc, char** argv) {
     util::Status written = tools::WriteFile(predictions_path, predictions);
     if (!written.ok()) tools::Fail(written);
     std::printf("predictions written to %s\n", predictions_path.c_str());
+  }
+
+  const std::string metrics_path = flags.GetString("metrics-out", "");
+  if (!metrics_path.empty()) {
+    util::Status written = tools::WriteMetricsJson(metrics_path);
+    if (!written.ok()) tools::Fail(written);
+    std::printf("metrics written to %s\n", metrics_path.c_str());
   }
   return 0;
 }

@@ -10,6 +10,7 @@
 //                    [--duration=2] [--connections=1] [--seed=1]
 //                    [--count=0 (override qps*duration)] [--no-matches]
 //                    [--no-score] [--json=FILE] [--verify-model=FILE]
+//                    [--metrics-out=FILE]
 //
 // --verify-model loads the same artifact the server serves and checks
 // every reply byte-for-byte against an in-process PatternCatalog::Query
@@ -89,7 +90,8 @@ int main(int argc, char** argv) {
                  "[--host=ADDR] [--format=smiles|sdf|gspan] [--qps=200] "
                  "[--duration=SECONDS] [--connections=N] [--seed=N] "
                  "[--count=N (override qps*duration)] [--no-matches] "
-                 "[--no-score] [--json=FILE] [--verify-model=FILE]\n");
+                 "[--no-score] [--json=FILE] [--verify-model=FILE] "
+                 "[--metrics-out=FILE]\n");
     return 1;
   }
 
@@ -240,21 +242,24 @@ int main(int argc, char** argv) {
   const double max = latencies.empty() ? 0.0 : latencies.back();
 
   // One Stats RPC after the run: the server's own view of the workload
-  // (its protocol_errors counter is what CI asserts to be zero).
-  uint64_t server_protocol_errors = 0;
-  uint64_t server_requests = 0;
+  // (its protocol_errors counter is what CI asserts to be zero). The
+  // default Stats() asks for the v2 reply, so the server's named work
+  // counters ride along; the smoke test cross-checks them against the
+  // client-side totals above.
+  wire::StatsReply server_stats;
   bool have_stats = false;
   {
     net::Client client(client_config);
     if (client.Connect().ok()) {
       auto stats = client.Stats();
       if (stats.ok()) {
-        server_protocol_errors = stats.value().protocol_errors;
-        server_requests = stats.value().requests_served;
+        server_stats = std::move(stats).value();
         have_stats = true;
       }
     }
   }
+  const uint64_t server_protocol_errors = server_stats.protocol_errors;
+  const uint64_t server_requests = server_stats.requests_served;
 
   std::fprintf(stderr,
                "offered %lld requests at %.0f QPS over %d connections in "
@@ -300,9 +305,20 @@ int main(int argc, char** argv) {
     if (have_stats) {
       json += util::StrPrintf(
           "  \"server\": {\"requests_served\": %llu, \"protocol_errors\": "
-          "%llu},\n",
+          "%llu, \"frames_received\": %llu, \"retries_sent\": %llu, "
+          "\"connections_accepted\": %llu, \"work_counters\": {",
           static_cast<unsigned long long>(server_requests),
-          static_cast<unsigned long long>(server_protocol_errors));
+          static_cast<unsigned long long>(server_protocol_errors),
+          static_cast<unsigned long long>(server_stats.frames_received),
+          static_cast<unsigned long long>(server_stats.retries_sent),
+          static_cast<unsigned long long>(server_stats.connections_accepted));
+      for (size_t i = 0; i < server_stats.work_counters.size(); ++i) {
+        const auto& [name, value] = server_stats.work_counters[i];
+        json += util::StrPrintf(
+            "%s\"%s\": %llu", i == 0 ? "" : ", ", name.c_str(),
+            static_cast<unsigned long long>(value));
+      }
+      json += "}},\n";
     }
     json += "  \"histogram_us\": [\n";
     for (int b = 0; b < kHistogramBuckets; ++b) {
@@ -316,6 +332,16 @@ int main(int argc, char** argv) {
     util::Status written = tools::WriteFile(json_path, json);
     if (!written.ok()) tools::Fail(written);
     std::fprintf(stderr, "histogram written to %s\n", json_path.c_str());
+  }
+
+  const std::string metrics_path = flags.GetString("metrics-out", "");
+  if (!metrics_path.empty()) {
+    // The loadgen's OWN registry: client-side serve/* counters when
+    // --verify-model ran queries in-process, empty otherwise. The
+    // server-side counters travel in the --json "server" section.
+    util::Status written = tools::WriteMetricsJson(metrics_path);
+    if (!written.ok()) tools::Fail(written);
+    std::fprintf(stderr, "metrics written to %s\n", metrics_path.c_str());
   }
 
   const bool clean = errors == 0 && mismatches == 0 && failed_connects == 0 &&

@@ -3,7 +3,7 @@
 //   graphsig_mine --input=actives.smi [--format=smiles|sdf|gspan]
 //                 [--active-only] [--max-pvalue=0.1] [--min-freq=0.1]
 //                 [--radius=8] [--fsg-freq=80] [--threads=1 (0 = auto)]
-//                 [--top=20] [--no-frequency]
+//                 [--top=20] [--no-frequency] [--metrics-out=metrics.json]
 //
 // Prints one block per significant subgraph: p-value, supports, global
 // frequency, and the pattern as SMILES plus an edge list.
@@ -31,7 +31,8 @@ int main(int argc, char** argv) {
                  "usage: graphsig_mine --input=FILE [--format=smiles|sdf|"
                  "gspan] [--active-only] [--max-pvalue=P] [--min-freq=F%%]"
                  " [--radius=R] [--fsg-freq=F%%] [--threads=N (0 = auto)]"
-                 " [--top=K] [--no-frequency] [--csv=FILE]\n");
+                 " [--top=K] [--no-frequency] [--csv=FILE]"
+                 " [--metrics-out=FILE]\n");
     return 1;
   }
   auto loaded =
@@ -110,6 +111,13 @@ int main(int argc, char** argv) {
       return 1;
     }
     std::printf("csv written to %s\n", csv_path.c_str());
+  }
+
+  const std::string metrics_path = flags.GetString("metrics-out", "");
+  if (!metrics_path.empty()) {
+    util::Status written = tools::WriteMetricsJson(metrics_path);
+    if (!written.ok()) tools::Fail(written);
+    std::printf("metrics written to %s\n", metrics_path.c_str());
   }
   return 0;
 }

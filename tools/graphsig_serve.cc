@@ -6,6 +6,8 @@
 //   graphsig_serve --model=model.gsig [--host=127.0.0.1] [--port=7117]
 //                  [--batch-threads=0 (auto)] [--max-inflight=64]
 //                  [--max-frame-mb=16] [--drain-timeout=5]
+//                  [--stats-log-period=0 (seconds; 0 = off)]
+//                  [--metrics-out=FILE (dumped after drain)]
 //
 // --port=0 binds an ephemeral port; the actual port is printed on the
 // "listening on" line (stdout, flushed) so scripts can scrape it.
@@ -45,7 +47,8 @@ int main(int argc, char** argv) {
                  "usage: graphsig_serve --model=FILE [--host=ADDR] "
                  "[--port=N (0 = ephemeral)] [--batch-threads=N (0 = "
                  "auto)] [--max-inflight=N] [--max-frame-mb=N] "
-                 "[--drain-timeout=SECONDS]\n");
+                 "[--drain-timeout=SECONDS] [--stats-log-period=SECONDS] "
+                 "[--metrics-out=FILE]\n");
     return 1;
   }
 
@@ -71,6 +74,8 @@ int main(int argc, char** argv) {
       static_cast<size_t>(flags.GetInt("max-frame-mb", 16)) << 20;
   config.drain_timeout_seconds =
       flags.GetDouble("drain-timeout", config.drain_timeout_seconds);
+  config.stats_log_period_seconds =
+      flags.GetDouble("stats-log-period", config.stats_log_period_seconds);
 
   net::Server server(&catalog.value(), config);
   util::Status started = server.Start();
@@ -107,5 +112,14 @@ int main(int argc, char** argv) {
                static_cast<long long>(stats.queries),
                stats.mean_latency_ms(), stats.max_latency_ms,
                static_cast<long long>(stats.pattern_matches));
+
+  // After the drain every in-flight request has flushed its counters,
+  // so the dump is the complete server-side view of the workload.
+  const std::string metrics_path = flags.GetString("metrics-out", "");
+  if (!metrics_path.empty()) {
+    util::Status written = tools::WriteMetricsJson(metrics_path);
+    if (!written.ok()) tools::Fail(written);
+    std::fprintf(stderr, "metrics written to %s\n", metrics_path.c_str());
+  }
   return 0;
 }

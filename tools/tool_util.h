@@ -18,6 +18,7 @@
 #include "data/molfile.h"
 #include "data/smiles.h"
 #include "graph/io.h"
+#include "obs/metrics.h"
 #include "util/logging.h"
 #include "util/parallel.h"
 #include "util/status.h"
@@ -174,6 +175,14 @@ inline util::Status WriteFile(const std::string& path,
   CommitOutput(path);
   if (!out) return util::Status::IoError("write failed: " + path);
   return util::Status::Ok();
+}
+
+// Dumps the process-wide metrics registry (src/obs) as JSON — the
+// --metrics-out payload scripts/check_counters.py compares in CI. The
+// "counters"/"spans" sections are deterministic for a fixed seed; the
+// "advisory" section (timing, queue depths, histograms) is not.
+inline util::Status WriteMetricsJson(const std::string& path) {
+  return WriteFile(path, obs::MetricsRegistry::Global().DumpJson());
 }
 
 // Loads a graph database in "smiles", "sdf", or "gspan" format.
