@@ -88,6 +88,26 @@ void FuzzTypedDecoders(const wire::Frame& frame) {
       }
       break;
     }
+    case wire::MessageType::kApproxQuery: {
+      auto req = wire::DecodeApproxRequest(payload);
+      if (req.ok()) {
+        auto again =
+            wire::DecodeApproxRequest(wire::EncodeApproxRequest(req.value()));
+        GS_CHECK(again.ok());
+        GS_CHECK(again.value() == req.value());
+      }
+      break;
+    }
+    case wire::MessageType::kApproxReply: {
+      // The reply is all fixed-width fields with validated ranges, so
+      // every accepted payload has exactly one spelling: decode must
+      // invert encode byte-for-byte.
+      auto reply = wire::DecodeApproxReply(payload);
+      if (reply.ok()) {
+        GS_CHECK(wire::EncodeApproxReply(reply.value()) == payload);
+      }
+      break;
+    }
     case wire::MessageType::kHealthReply: {
       auto health = wire::DecodeHealthReply(payload);
       if (health.ok()) {

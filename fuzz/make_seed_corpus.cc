@@ -181,6 +181,31 @@ int main(int argc, char** argv) {
         wire::EncodeFrame(wire::MessageType::kStatsReply,
                           wire::EncodeStatsReply(stats_with_counters),
                           wire::StatsReplyWireVersion(stats_with_counters)));
+    // Approx tier (wire v3): a support-mode request over a real graph
+    // and the matching reply shape, both on v3-stamped frames.
+    wire::ApproxRequest approx;
+    approx.mode = 0;
+    approx.seed = 7;
+    approx.samples = 64;
+    approx.confidence = 0.95;
+    approx.pattern = db.graph(1);
+    WriteFileOrDie(root / "wire" / "approx_query.bin",
+                   wire::EncodeFrame(wire::MessageType::kApproxQuery,
+                                     wire::EncodeApproxRequest(approx),
+                                     wire::kApproxWireVersion));
+    wire::ApproxReply approx_reply;
+    approx_reply.mode = 0;
+    approx_reply.samples = 64;
+    approx_reply.hits = 41;
+    approx_reply.db_size = 6;
+    approx_reply.estimate = 3.84;
+    approx_reply.ci_lo = 3.1;
+    approx_reply.ci_hi = 4.5;
+    approx_reply.confidence = 0.95;
+    WriteFileOrDie(root / "wire" / "approx_reply.bin",
+                   wire::EncodeFrame(wire::MessageType::kApproxReply,
+                                     wire::EncodeApproxReply(approx_reply),
+                                     wire::kApproxWireVersion));
     wire::HealthReply health;
     health.ok = true;
     health.num_patterns = 64;

@@ -41,6 +41,16 @@ Rules (each can be waived on one line with a `lint:allow=<rule>` comment):
                 through obs trace spans; scattering clock reads breaks
                 the "all wall time is advisory" fence the determinism
                 contract relies on (DESIGN.md §12).
+
+  raw-std-random  <random> engines/distributions (std::mt19937,
+                std::random_device, std::*_distribution, ...) anywhere
+                outside src/util/. All randomness flows through
+                util::Rng (src/util/rng.h): one engine, explicit seeds,
+                and a stable draw sequence the cross-thread-determinism
+                tests (and the approx tier's replayable estimates)
+                depend on. std:: distributions are also not portable
+                across standard-library implementations, so seeds would
+                stop replaying the moment the toolchain changes.
 """
 
 import re
@@ -109,6 +119,19 @@ RULES = [
         and rel.parts[:2] not in (("src", "obs"), ("src", "util")),
         "register counters in obs::MetricsRegistry (src/obs/metrics.h) "
         "instead of ad-hoc atomics; sync primitives go in src/util/",
+    ),
+    (
+        "raw-std-random",
+        re.compile(
+            r"std::(mt19937(_64)?|minstd_rand0?|ranlux\w+|knuth_b"
+            r"|default_random_engine|random_device|\w+_distribution"
+            r"|seed_seq)\b"
+            r"|#\s*include\s*<random>"
+        ),
+        lambda rel: rel.parts[:2] != ("src", "util"),
+        "draw randomness from util::Rng (src/util/rng.h) with an explicit "
+        "seed; std:: engines/distributions are unseeded-by-convention and "
+        "not reproducible across standard libraries",
     ),
     (
         "raw-chrono",

@@ -49,13 +49,17 @@ if [ -z "$PORT" ]; then
   exit 1
 fi
 
+# --mix sends a deterministic ~30% slice of the schedule as approx
+# (sampled-support) queries, so both query classes cross the live wire.
 "$LOADGEN_BIN" --port="$PORT" --input="$WORKLOAD" --qps=150 --duration=1 \
-  --connections=2 --seed=7 --verify-model="$MODEL" --json="$JSON"
+  --connections=2 --seed=7 --mix=0.3 --approx-samples=32 \
+  --verify-model="$MODEL" --json="$JSON"
 
 # The server's Stats-RPC counters must agree exactly with what the
-# client observed: every ok reply was a served request, every
-# RETRY_LATER was counted as a sent retry, and the received frames are
-# the queries plus the one Stats frame that took the snapshot.
+# client observed: every ok reply was a served request (split by class
+# into serve/queries and serve/approx_queries), every RETRY_LATER was
+# counted as a sent retry, and the received frames are the requests
+# plus the one Stats frame that took the snapshot.
 python3 - "$JSON" <<'EOF'
 import json, sys
 
@@ -71,13 +75,26 @@ expect("requests_served", server["requests_served"], totals["ok"])
 expect("retries_sent", server["retries_sent"], totals["retry_later"])
 expect("frames_received", server["frames_received"],
        totals["ok"] + totals["retry_later"] + 1)
+if totals["ok_approx"] == 0:
+    failures.append("mixed workload produced no ok approx replies")
 if not server["work_counters"]:
     failures.append("stats reply carries no work counters")
-elif server["work_counters"].get("serve/queries") != totals["ok"]:
-    failures.append(
-        f"work counter serve/queries = "
-        f"{server['work_counters'].get('serve/queries')}, "
-        f"client saw {totals['ok']} ok replies")
+else:
+    counters = server["work_counters"]
+    expect("work counter serve/queries", counters.get("serve/queries"),
+           totals["ok_exact"])
+    expect("work counter serve/approx_queries",
+           counters.get("serve/approx_queries"), totals["ok_approx"])
+    # Frame counters tick on receipt, so a RETRY_LATER'd approx frame
+    # counts here without producing an ok reply; exact equality only
+    # holds on a retry-free run.
+    if totals["retry_later"] == 0:
+        expect("work counter net/frames/approx_query",
+               counters.get("net/frames/approx_query"), totals["ok_approx"])
+    elif counters.get("net/frames/approx_query", 0) < totals["ok_approx"]:
+        failures.append("net/frames/approx_query below ok approx replies")
+    if counters.get("approx/samples_drawn", 0) <= 0:
+        failures.append("approx queries drew no samples")
 
 for f in failures:
     print(f"serve_smoke: stats mismatch - {f}", file=sys.stderr)

@@ -1,0 +1,77 @@
+#include "approx/ci.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "stats/distributions.h"
+#include "util/check.h"
+
+namespace graphsig::approx {
+
+double NormalQuantile(double p) {
+  GS_CHECK(p > 0.0 && p < 1.0);
+  // NormalCdf is monotone, so bisection converges unconditionally; the
+  // bracket covers every quantile a representable p can ask for
+  // (NormalCdf saturates to 0/1 well inside +/-40).
+  double lo = -40.0;
+  double hi = 40.0;
+  for (int i = 0; i < 200 && hi - lo > 1e-12; ++i) {
+    const double mid = 0.5 * (lo + hi);
+    if (stats::NormalCdf(mid) < p) {
+      lo = mid;
+    } else {
+      hi = mid;
+    }
+  }
+  return 0.5 * (lo + hi);
+}
+
+ConfidenceInterval WilsonInterval(int64_t successes, int64_t trials,
+                                  double confidence) {
+  GS_CHECK_GE(trials, 1);
+  GS_CHECK_GE(successes, 0);
+  GS_CHECK_LE(successes, trials);
+  GS_CHECK(confidence > 0.0 && confidence < 1.0);
+  const double z = NormalQuantile(1.0 - (1.0 - confidence) / 2.0);
+  const double n = static_cast<double>(trials);
+  const double p_hat = static_cast<double>(successes) / n;
+  const double z2 = z * z;
+  const double denom = 1.0 + z2 / n;
+  const double center = (p_hat + z2 / (2.0 * n)) / denom;
+  const double half =
+      z * std::sqrt(p_hat * (1.0 - p_hat) / n + z2 / (4.0 * n * n)) / denom;
+  ConfidenceInterval ci;
+  ci.lo = std::max(0.0, center - half);
+  ci.hi = std::min(1.0, center + half);
+  ci.confidence = confidence;
+  return ci;
+}
+
+ConfidenceInterval MeanInterval(double mean, double sample_variance,
+                                int64_t n, double confidence) {
+  GS_CHECK_GE(n, 1);
+  GS_CHECK(confidence > 0.0 && confidence < 1.0);
+  ConfidenceInterval ci;
+  ci.confidence = confidence;
+  if (n < 2 || sample_variance <= 0.0) {
+    ci.lo = mean;
+    ci.hi = mean;
+    return ci;
+  }
+  const double z = NormalQuantile(1.0 - (1.0 - confidence) / 2.0);
+  const double half = z * std::sqrt(sample_variance / static_cast<double>(n));
+  ci.lo = mean - half;
+  ci.hi = mean + half;
+  return ci;
+}
+
+ConfidenceInterval Scale(const ConfidenceInterval& ci, double factor) {
+  GS_CHECK_GE(factor, 0.0);
+  ConfidenceInterval scaled;
+  scaled.lo = ci.lo * factor;
+  scaled.hi = ci.hi * factor;
+  scaled.confidence = ci.confidence;
+  return scaled;
+}
+
+}  // namespace graphsig::approx

@@ -1,0 +1,60 @@
+#ifndef GRAPHSIG_APPROX_CI_H_
+#define GRAPHSIG_APPROX_CI_H_
+
+// Confidence-interval arithmetic for the sampling tier (src/approx).
+// Every estimator in this subsystem returns a point estimate together
+// with one of these intervals; the interval math lives here so the
+// coverage test (tests/approx_test.cc) exercises exactly the code the
+// estimators ship.
+//
+// Two interval families cover both estimators:
+//   * WilsonInterval — a binomial proportion observed as successes out
+//     of trials (the FS^3-style support estimator). Wilson's score
+//     interval keeps near-nominal coverage even at p near 0 or 1,
+//     where the naive Wald interval collapses.
+//   * MeanInterval — a sample mean of i.i.d. draws with a CLT normal
+//     approximation (the waddling random-walk frequency estimator,
+//     whose per-walk inverse-probability weights are unbounded).
+//
+// Quantiles come from bisection over stats::NormalCdf, so no second
+// normal approximation enters the codebase.
+
+#include <cstdint>
+
+namespace graphsig::approx {
+
+// A two-sided interval with its nominal coverage (e.g. 0.95). The
+// bounds are inclusive; Contains is what the coverage test counts.
+struct ConfidenceInterval {
+  double lo = 0.0;
+  double hi = 0.0;
+  double confidence = 0.0;
+
+  bool Contains(double value) const { return lo <= value && value <= hi; }
+
+  bool operator==(const ConfidenceInterval&) const = default;
+};
+
+// Inverse standard normal CDF: the z with NormalCdf(z) == p. `p` must
+// be strictly inside (0, 1). Bisection to ~1e-12, deterministic.
+double NormalQuantile(double p);
+
+// Wilson score interval for a binomial proportion after observing
+// `successes` out of `trials` (trials >= 1, 0 <= successes <= trials,
+// confidence strictly inside (0, 1)). Bounds are clamped to [0, 1].
+ConfidenceInterval WilsonInterval(int64_t successes, int64_t trials,
+                                  double confidence);
+
+// CLT interval for a sample mean: mean +/- z * sqrt(variance / n),
+// where `sample_variance` is the unbiased (n-1 denominator) variance.
+// With n == 1 or zero variance the interval degenerates to the point.
+ConfidenceInterval MeanInterval(double mean, double sample_variance,
+                                int64_t n, double confidence);
+
+// The interval scaled by a non-negative factor (e.g. a sampled
+// fraction rescaled to a support count over a database of known size).
+ConfidenceInterval Scale(const ConfidenceInterval& ci, double factor);
+
+}  // namespace graphsig::approx
+
+#endif  // GRAPHSIG_APPROX_CI_H_

@@ -1,0 +1,406 @@
+#include "approx/estimators.h"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <optional>
+#include <utility>
+
+#include "fsm/dfs_code.h"
+#include "graph/isomorphism.h"
+#include "obs/metrics.h"
+#include "util/check.h"
+#include "util/parallel.h"
+#include "util/rng.h"
+#include "util/strings.h"
+
+namespace graphsig::approx {
+
+namespace {
+
+// Deterministic work accumulated locally per estimator call and flushed
+// to the global registry once at the end — the counters are part of the
+// byte-identical-across-thread-counts contract, so per-unit tallies are
+// summed in unit-index order like every other merge here.
+struct WorkTally {
+  uint64_t samples_drawn = 0;
+  uint64_t walk_steps = 0;
+  uint64_t iso_tests = 0;
+};
+
+void FlushWork(const WorkTally& tally) {
+  auto& registry = obs::MetricsRegistry::Global();
+  static obs::Counter* const samples =
+      registry.GetCounter("approx/samples_drawn");
+  static obs::Counter* const steps =
+      registry.GetCounter("approx/walk_steps");
+  static obs::Counter* const iso = registry.GetCounter("approx/iso_tests");
+  samples->Add(tally.samples_drawn);
+  steps->Add(tally.walk_steps);
+  iso->Add(tally.iso_tests);
+}
+
+int ResolveThreads(int num_threads) {
+  return num_threads <= 0 ? util::HardwareThreads() : num_threads;
+}
+
+util::Status ValidateCommon(const graph::GraphDatabase& db, int32_t units,
+                            const char* units_name, double confidence) {
+  if (db.empty()) {
+    return util::Status::InvalidArgument(
+        "approx estimators need a non-empty database");
+  }
+  if (units <= 0) {
+    return util::Status::InvalidArgument(
+        util::StrPrintf("%s must be positive", units_name));
+  }
+  // The negated comparison also rejects NaN.
+  if (!(confidence > 0.0 && confidence < 1.0)) {
+    return util::Status::InvalidArgument(
+        "confidence must be strictly inside (0, 1)");
+  }
+  return util::Status::Ok();
+}
+
+// Per-unit RNG streams, derived from the root seed BEFORE any parallel
+// work: unit i always sees stream i no matter how ParallelFor schedules
+// the indices, which is the whole determinism story.
+std::vector<uint64_t> DrawUnitSeeds(util::Rng* root, int32_t count) {
+  std::vector<uint64_t> seeds(static_cast<size_t>(count));
+  for (auto& seed : seeds) seed = root->NextU64();
+  return seeds;
+}
+
+}  // namespace
+
+util::Result<SupportEstimate> EstimateSupport(const graph::GraphDatabase& db,
+                                              const graph::Graph& pattern,
+                                              const SupportConfig& config) {
+  GS_RETURN_IF_ERROR(ValidateCommon(db, config.num_samples, "num_samples",
+                                    config.confidence));
+  const size_t n = static_cast<size_t>(config.num_samples);
+  util::Rng root(config.seed);
+  std::vector<size_t> picks(n);
+  for (auto& pick : picks) pick = root.NextBounded(db.size());
+
+  // One exact isomorphism test per sampled graph; each unit writes only
+  // its own slot.
+  std::vector<uint8_t> hit(n, 0);
+  util::ParallelFor(ResolveThreads(config.num_threads), n, [&](size_t i) {
+    hit[i] = graph::IsSubgraphIsomorphic(pattern, db.graph(picks[i])) ? 1 : 0;
+  });
+
+  SupportEstimate estimate;
+  estimate.num_samples = config.num_samples;
+  for (size_t i = 0; i < n; ++i) estimate.hits += hit[i];
+  estimate.fraction =
+      static_cast<double>(estimate.hits) / static_cast<double>(n);
+  estimate.fraction_ci =
+      WilsonInterval(estimate.hits, config.num_samples, config.confidence);
+  const double db_size = static_cast<double>(db.size());
+  estimate.support = estimate.fraction * db_size;
+  estimate.support_ci = Scale(estimate.fraction_ci, db_size);
+
+  WorkTally tally;
+  tally.samples_drawn = n;
+  tally.iso_tests = n;
+  FlushWork(tally);
+  return estimate;
+}
+
+namespace {
+
+// Static walk plan for one pattern: a BFS vertex order rooted at vertex
+// 0, the already-placed anchor each new vertex waddles out from, and
+// every pattern edge back into the placed prefix (including the anchor
+// edge itself) that a candidate image vertex must reproduce.
+struct WaddlePlan {
+  std::vector<graph::VertexId> order;
+  std::vector<int> anchor_pos;  // position of the BFS parent; [0] unused
+  std::vector<std::vector<std::pair<int, graph::Label>>> back_edges;
+};
+
+WaddlePlan BuildWaddlePlan(const graph::Graph& pattern) {
+  const int n = pattern.num_vertices();
+  WaddlePlan plan;
+  plan.order.reserve(n);
+  plan.anchor_pos.assign(n, -1);
+  plan.back_edges.resize(n);
+  std::vector<int> pos_of(n, -1);
+  plan.order.push_back(0);
+  pos_of[0] = 0;
+  for (size_t head = 0; head < plan.order.size(); ++head) {
+    const graph::VertexId u = plan.order[head];
+    for (const graph::AdjEntry& e : pattern.neighbors(u)) {
+      if (pos_of[e.to] != -1) continue;
+      const int k = static_cast<int>(plan.order.size());
+      pos_of[e.to] = k;
+      plan.anchor_pos[k] = static_cast<int>(head);
+      plan.order.push_back(e.to);
+    }
+  }
+  GS_CHECK_EQ(plan.order.size(), static_cast<size_t>(n));  // connected
+  for (int k = 1; k < n; ++k) {
+    const graph::VertexId v = plan.order[k];
+    for (const graph::AdjEntry& e : pattern.neighbors(v)) {
+      if (pos_of[e.to] < k) {
+        plan.back_edges[k].emplace_back(pos_of[e.to], e.label);
+      }
+    }
+    std::sort(plan.back_edges[k].begin(), plan.back_edges[k].end());
+  }
+  return plan;
+}
+
+// One waddling walk: grow a candidate embedding in plan order, stepping
+// to a uniform neighbor of the anchor at each position. Returns the
+// inverse-probability weight on success (the estimator of the TOTAL
+// embedding count, |db| * n_g * prod(anchor degrees)), 0 on any dead
+// end or constraint violation. Each walk owns its Rng, so where a walk
+// bails never affects any other walk's stream.
+double RunWaddle(const graph::GraphDatabase& db, const graph::Graph& pattern,
+                 const WaddlePlan& plan, util::Rng* rng, uint64_t* steps) {
+  const graph::Graph& g = db.graph(rng->NextBounded(db.size()));
+  const int n = g.num_vertices();
+  if (n == 0) return 0.0;
+  double weight = static_cast<double>(db.size()) * static_cast<double>(n);
+  const int p = static_cast<int>(plan.order.size());
+  std::vector<graph::VertexId> image(p, -1);
+  const graph::VertexId w0 =
+      static_cast<graph::VertexId>(rng->NextBounded(n));
+  if (g.vertex_label(w0) != pattern.vertex_label(plan.order[0])) return 0.0;
+  image[0] = w0;
+  for (int k = 1; k < p; ++k) {
+    const graph::VertexId anchor = image[plan.anchor_pos[k]];
+    const auto& adj = g.neighbors(anchor);
+    if (adj.empty()) return 0.0;
+    ++*steps;
+    const graph::VertexId w = adj[rng->NextBounded(adj.size())].to;
+    weight *= static_cast<double>(adj.size());
+    if (g.vertex_label(w) != pattern.vertex_label(plan.order[k])) return 0.0;
+    for (int j = 0; j < k; ++j) {
+      if (image[j] == w) return 0.0;  // embeddings are injective
+    }
+    for (const auto& [pos, edge_label] : plan.back_edges[k]) {
+      if (g.EdgeLabelBetween(image[pos], w) != edge_label) return 0.0;
+    }
+    image[k] = w;
+  }
+  return weight;
+}
+
+}  // namespace
+
+util::Result<FrequencyEstimate> EstimateFrequency(
+    const graph::GraphDatabase& db, const graph::Graph& pattern,
+    const FrequencyConfig& config) {
+  GS_RETURN_IF_ERROR(
+      ValidateCommon(db, config.num_walks, "num_walks", config.confidence));
+  if (pattern.num_vertices() == 0) {
+    return util::Status::InvalidArgument(
+        "frequency estimation needs a non-empty pattern");
+  }
+  if (!pattern.IsConnected()) {
+    return util::Status::InvalidArgument(
+        "frequency estimation needs a connected pattern (walks grow "
+        "along pattern edges)");
+  }
+  const WaddlePlan plan = BuildWaddlePlan(pattern);
+  const size_t t = static_cast<size_t>(config.num_walks);
+  util::Rng root(config.seed);
+  const std::vector<uint64_t> seeds = DrawUnitSeeds(&root, config.num_walks);
+
+  std::vector<double> weights(t, 0.0);
+  std::vector<uint64_t> steps(t, 0);
+  util::ParallelFor(ResolveThreads(config.num_threads), t, [&](size_t i) {
+    util::Rng rng(seeds[i]);
+    weights[i] = RunWaddle(db, pattern, plan, &rng, &steps[i]);
+  });
+
+  // Mean and variance in walk-index order: floating-point sums are
+  // order-sensitive, and this order never depends on the thread count.
+  double sum = 0.0;
+  FrequencyEstimate estimate;
+  estimate.num_walks = config.num_walks;
+  WorkTally tally;
+  tally.samples_drawn = t;
+  for (size_t i = 0; i < t; ++i) {
+    sum += weights[i];
+    if (weights[i] > 0.0) ++estimate.hits;
+    tally.walk_steps += steps[i];
+  }
+  const double mean = sum / static_cast<double>(t);
+  double variance = 0.0;
+  if (t >= 2) {
+    double squared = 0.0;
+    for (const double w : weights) squared += (w - mean) * (w - mean);
+    variance = squared / static_cast<double>(t - 1);
+  }
+  estimate.embeddings = mean;
+  estimate.ci =
+      MeanInterval(mean, variance, config.num_walks, config.confidence);
+  // A count is non-negative even when the normal tail dips below zero.
+  estimate.ci.lo = std::max(0.0, estimate.ci.lo);
+  FlushWork(tally);
+  return estimate;
+}
+
+namespace {
+
+// One FS^3 sample: pick a database graph, seed with a uniform edge, and
+// grow by uniform frontier edges until `edge_budget` edges are chosen
+// or the frontier dies. Returns the edge-induced subgraph (connected by
+// construction) or nullopt for an undersized sample.
+std::optional<graph::Graph> SampleSubgraph(const graph::GraphDatabase& db,
+                                           int32_t edge_budget,
+                                           util::Rng* rng, uint64_t* steps) {
+  const graph::Graph& g = db.graph(rng->NextBounded(db.size()));
+  if (g.num_edges() == 0) return std::nullopt;
+  std::vector<int32_t> chosen;
+  std::vector<uint8_t> edge_in(g.num_edges(), 0);
+  std::vector<graph::VertexId> verts;
+  std::vector<uint8_t> vert_in(g.num_vertices(), 0);
+  const auto take = [&](int32_t e) {
+    chosen.push_back(e);
+    edge_in[e] = 1;
+    for (const graph::VertexId v : {g.edge(e).u, g.edge(e).v}) {
+      if (!vert_in[v]) {
+        vert_in[v] = 1;
+        verts.push_back(v);
+      }
+    }
+  };
+  take(static_cast<int32_t>(rng->NextBounded(g.num_edges())));
+  std::vector<int32_t> frontier;
+  std::vector<uint8_t> seen(g.num_edges(), 0);
+  while (static_cast<int32_t>(chosen.size()) < edge_budget) {
+    // Rebuilt each round in vertex insertion order, so the candidate
+    // list (and the draw it feeds) is a pure function of the walk so
+    // far.
+    frontier.clear();
+    std::fill(seen.begin(), seen.end(), 0);
+    for (const graph::VertexId v : verts) {
+      for (const graph::AdjEntry& e : g.neighbors(v)) {
+        if (!edge_in[e.edge_index] && !seen[e.edge_index]) {
+          seen[e.edge_index] = 1;
+          frontier.push_back(e.edge_index);
+        }
+      }
+    }
+    if (frontier.empty()) return std::nullopt;
+    ++*steps;
+    take(frontier[rng->NextBounded(frontier.size())]);
+  }
+  // Edge-induced subgraph over the touched vertices, ascending so the
+  // rebuilt graph is a pure function of the chosen edge set.
+  std::sort(verts.begin(), verts.end());
+  std::sort(chosen.begin(), chosen.end());
+  std::vector<int32_t> new_index(g.num_vertices(), -1);
+  graph::Graph sub;
+  for (size_t i = 0; i < verts.size(); ++i) {
+    new_index[verts[i]] = static_cast<int32_t>(i);
+    sub.AddVertex(g.vertex_label(verts[i]));
+  }
+  for (const int32_t e : chosen) {
+    sub.AddEdge(new_index[g.edge(e).u], new_index[g.edge(e).v],
+                g.edge(e).label);
+  }
+  return sub;
+}
+
+}  // namespace
+
+util::Result<TopKResult> SampleTopK(const graph::GraphDatabase& db,
+                                    const TopKConfig& config) {
+  GS_RETURN_IF_ERROR(ValidateCommon(db, config.num_samples, "num_samples",
+                                    config.confidence));
+  if (config.k <= 0) {
+    return util::Status::InvalidArgument("k must be positive");
+  }
+  if (config.subgraph_edges <= 0) {
+    return util::Status::InvalidArgument("subgraph_edges must be positive");
+  }
+  if (config.support_samples <= 0) {
+    return util::Status::InvalidArgument(
+        "support_samples must be positive");
+  }
+
+  const size_t n = static_cast<size_t>(config.num_samples);
+  util::Rng root(config.seed);
+  const std::vector<uint64_t> sample_seeds =
+      DrawUnitSeeds(&root, config.num_samples);
+  // Support seeds are drawn for all k slots up front, whether or not
+  // the sample pass surfaces that many distinct patterns — the draw
+  // count must not depend on the data-driven candidate count.
+  const std::vector<uint64_t> support_seeds = DrawUnitSeeds(&root, config.k);
+
+  struct Sample {
+    std::string key;
+    graph::Graph pattern;
+    uint64_t steps = 0;
+    bool kept = false;
+  };
+  std::vector<Sample> samples(n);
+  util::ParallelFor(ResolveThreads(config.num_threads), n, [&](size_t i) {
+    util::Rng rng(sample_seeds[i]);
+    std::optional<graph::Graph> sub = SampleSubgraph(
+        db, config.subgraph_edges, &rng, &samples[i].steps);
+    if (!sub.has_value()) return;
+    samples[i].key = fsm::CanonicalCode(*sub);
+    samples[i].pattern = std::move(*sub);
+    samples[i].kept = true;
+  });
+
+  TopKResult result;
+  result.samples_drawn = config.num_samples;
+  WorkTally tally;
+  tally.samples_drawn = n;
+  // Tally in sample-index order; the exemplar is the first draw of each
+  // canonical key, so the reported graphs are thread-count-independent
+  // too.
+  std::map<std::string, std::pair<int64_t, size_t>> by_key;
+  for (size_t i = 0; i < n; ++i) {
+    tally.walk_steps += samples[i].steps;
+    if (!samples[i].kept) continue;
+    ++result.samples_kept;
+    auto [it, inserted] = by_key.try_emplace(samples[i].key, 0, i);
+    ++it->second.first;
+  }
+  result.distinct_patterns = static_cast<int64_t>(by_key.size());
+  FlushWork(tally);
+
+  std::vector<std::pair<const std::string*, std::pair<int64_t, size_t>>>
+      ranked;
+  ranked.reserve(by_key.size());
+  for (const auto& [key, entry] : by_key) ranked.emplace_back(&key, entry);
+  std::sort(ranked.begin(), ranked.end(),
+            [](const auto& a, const auto& b) {
+              if (a.second.first != b.second.first) {
+                return a.second.first > b.second.first;
+              }
+              return *a.first < *b.first;
+            });
+  const size_t top_n =
+      std::min(ranked.size(), static_cast<size_t>(config.k));
+
+  SupportConfig support_config;
+  support_config.num_samples = config.support_samples;
+  support_config.confidence = config.confidence;
+  support_config.num_threads = config.num_threads;
+  for (size_t rank = 0; rank < top_n; ++rank) {
+    TopKCandidate candidate;
+    candidate.canonical_key = *ranked[rank].first;
+    candidate.times_sampled = ranked[rank].second.first;
+    candidate.pattern = samples[ranked[rank].second.second].pattern;
+    support_config.seed = support_seeds[rank];
+    // EstimateSupport parallelizes internally; candidates run in rank
+    // order so their estimates land deterministically.
+    GS_ASSIGN_OR_RETURN(
+        candidate.support,
+        EstimateSupport(db, candidate.pattern, support_config));
+    result.top.push_back(std::move(candidate));
+  }
+  return result;
+}
+
+}  // namespace graphsig::approx

@@ -1,0 +1,156 @@
+#ifndef GRAPHSIG_APPROX_ESTIMATORS_H_
+#define GRAPHSIG_APPROX_ESTIMATORS_H_
+
+// The approximate mining tier: sampling-based estimators that answer
+// support/frequency questions over a graph database without running the
+// exact miner, trading exactness for a point estimate plus a confidence
+// interval (approx/ci.h). Two estimator designs from the literature:
+//
+//   * EstimateSupport / SampleTopK — FS^3-style fixed-size sampling
+//     (Saha & Al Hasan). Support is a binomial proportion over sampled
+//     database graphs; top-k candidates come from sampling fixed-edge-
+//     count connected subgraphs and ranking by how often each canonical
+//     pattern (fsm::CanonicalCode) was drawn.
+//   * EstimateFrequency — Waddling-Random-Walk-style estimation (Han &
+//     Sethu): grow one candidate embedding per walk by stepping to
+//     uniform neighbors of already-mapped vertices, weight successes by
+//     the inverse of their sampling probability, and apply a CLT
+//     interval to the per-walk weights. Unbiased for the total number
+//     of embeddings (distinct vertex maps, matching CountEmbeddings).
+//
+// Determinism contract (DESIGN.md §13): every estimator takes an
+// explicit seed and derives one independent util::Rng stream per sample
+// or walk UP FRONT, so the work each unit does — and therefore the
+// result, the merged statistics, and the approx/* work counters — is
+// byte-identical for a fixed seed across num_threads values. Merges
+// always run sequentially in unit-index order (floating-point sums are
+// order-sensitive). Work counters registered with the global registry:
+//   approx/samples_drawn   database-graph and subgraph sample draws
+//   approx/walk_steps      random-walk steps + subgraph growth steps
+//   approx/iso_tests       exact isomorphism tests spent on estimates
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "approx/ci.h"
+#include "graph/graph.h"
+#include "graph/graph_database.h"
+#include "util/status.h"
+
+namespace graphsig::approx {
+
+// The two estimator families, as exposed through the wire protocol's
+// ApproxQuery message (src/net/wire.h) and graphsig_sample.
+enum class ApproxMode : uint8_t {
+  kSupport = 0,    // EstimateSupport: binomial support fraction
+  kFrequency = 1,  // EstimateFrequency: total embedding count
+};
+
+// ---------------------------------------------------------------------
+// Support estimation (FS^3-style fixed-size sampling).
+
+struct SupportConfig {
+  uint64_t seed = 1;
+  // Database graphs sampled (with replacement); one exact isomorphism
+  // test each.
+  int32_t num_samples = 256;
+  // Nominal two-sided coverage, strictly inside (0, 1).
+  double confidence = 0.95;
+  // 0 = one worker per hardware thread. Results never depend on this.
+  int num_threads = 1;
+};
+
+struct SupportEstimate {
+  // Sampled graphs that contained the pattern.
+  int64_t hits = 0;
+  int32_t num_samples = 0;
+  // hits / num_samples, and its Wilson score interval.
+  double fraction = 0.0;
+  ConfidenceInterval fraction_ci;
+  // fraction scaled by |database| — the estimated support count.
+  double support = 0.0;
+  ConfidenceInterval support_ci;
+};
+
+// Estimates the support of `pattern` in `db` by sampling graphs with
+// replacement. Fails on an empty database or a bad config.
+util::Result<SupportEstimate> EstimateSupport(const graph::GraphDatabase& db,
+                                              const graph::Graph& pattern,
+                                              const SupportConfig& config);
+
+// ---------------------------------------------------------------------
+// Frequency (embedding-count) estimation via waddling random walks.
+
+struct FrequencyConfig {
+  uint64_t seed = 1;
+  // Independent walks; each tries to grow one embedding of the pattern.
+  int32_t num_walks = 4096;
+  double confidence = 0.95;
+  int num_threads = 1;
+};
+
+struct FrequencyEstimate {
+  // Estimated total embeddings (distinct vertex maps) of the pattern
+  // across the whole database, with a CLT interval over walk weights.
+  double embeddings = 0.0;
+  ConfidenceInterval ci;
+  // Walks that completed a valid embedding.
+  int64_t hits = 0;
+  int32_t num_walks = 0;
+};
+
+// Estimates how many embeddings `pattern` has across `db`. The pattern
+// must be non-empty and connected (walks grow along pattern edges).
+util::Result<FrequencyEstimate> EstimateFrequency(
+    const graph::GraphDatabase& db, const graph::Graph& pattern,
+    const FrequencyConfig& config);
+
+// ---------------------------------------------------------------------
+// Top-k frequent subgraph sampling (FS^3-style).
+
+struct TopKConfig {
+  uint64_t seed = 1;
+  // Patterns to report.
+  int32_t k = 10;
+  // Edge count of every sampled subgraph (the FS^3 fixed size).
+  int32_t subgraph_edges = 3;
+  // Subgraph samples drawn before ranking.
+  int32_t num_samples = 2000;
+  // Per-candidate support samples (see SupportConfig::num_samples).
+  int32_t support_samples = 128;
+  double confidence = 0.95;
+  int num_threads = 1;
+};
+
+struct TopKCandidate {
+  // An exemplar of the pattern (the first sampled occurrence).
+  graph::Graph pattern;
+  // fsm::CanonicalCode key — equal iff isomorphic.
+  std::string canonical_key;
+  // How many of the kept samples drew this pattern.
+  int64_t times_sampled = 0;
+  // Independent support estimate for the candidate.
+  SupportEstimate support;
+};
+
+struct TopKResult {
+  // At most k candidates: times_sampled descending, canonical_key
+  // ascending as the tie-break.
+  std::vector<TopKCandidate> top;
+  int64_t samples_drawn = 0;
+  // Samples that reached the full subgraph_edges budget (the rest hit a
+  // dead end — a graph too small or an exhausted frontier).
+  int64_t samples_kept = 0;
+  int64_t distinct_patterns = 0;
+};
+
+// Samples connected subgraphs of exactly `subgraph_edges` edges (seed
+// edge + uniform frontier growth), ranks canonical patterns by draw
+// count, and attaches a support estimate to each of the top k.
+util::Result<TopKResult> SampleTopK(const graph::GraphDatabase& db,
+                                    const TopKConfig& config);
+
+}  // namespace graphsig::approx
+
+#endif  // GRAPHSIG_APPROX_ESTIMATORS_H_

@@ -187,6 +187,19 @@ util::Result<std::vector<wire::QueryReply>> Client::PipelineQueries(
   return replies;
 }
 
+util::Result<wire::ApproxReply> Client::Approx(
+    const wire::ApproxRequest& request) {
+  GS_ASSIGN_OR_RETURN(
+      wire::Frame raw,
+      RoundTrip(wire::MessageType::kApproxQuery,
+                wire::EncodeApproxRequest(request),
+                wire::kApproxWireVersion));
+  GS_ASSIGN_OR_RETURN(
+      wire::Frame frame,
+      ExpectType(std::move(raw), wire::MessageType::kApproxReply));
+  return wire::DecodeApproxReply(frame.payload);
+}
+
 util::Result<wire::StatsReply> Client::Stats(uint8_t version) {
   wire::StatsRequest request;
   request.version = version;

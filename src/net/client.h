@@ -64,6 +64,12 @@ class Client {
       const std::vector<graph::Graph>& queries,
       const wire::QueryOptions& options = {});
 
+  // One approximate-estimate query (wire v3): the server runs the
+  // seeded estimator `request` names and returns the estimate with its
+  // confidence interval. Requires a v3-capable server; older servers
+  // reject the frame version and the stream errors out.
+  util::Result<wire::ApproxReply> Approx(const wire::ApproxRequest& request);
+
   // `version` selects the stats payload to ask for: kBaseWireVersion
   // requests the v1 reply (what a pre-v2 client sends on the wire —
   // also the right choice against an old server), anything newer asks

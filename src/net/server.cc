@@ -44,6 +44,11 @@ obs::Counter* FrameTypeCounter(wire::MessageType type) {
           registry.GetCounter("net/frames/health");
       return c;
     }
+    case wire::MessageType::kApproxQuery: {
+      static obs::Counter* const c =
+          registry.GetCounter("net/frames/approx_query");
+      return c;
+    }
     default: {
       // Reply/error types arriving as requests; counted, then rejected
       // by DispatchRequest.
@@ -346,6 +351,7 @@ void Server::DispatchRequest(uint64_t id, Connection* conn,
       return;
     case wire::MessageType::kQuery:
     case wire::MessageType::kBatchQuery:
+    case wire::MessageType::kApproxQuery:
       break;
     default: {
       util::MutexLock lock(&counters_mutex_);
@@ -395,6 +401,8 @@ std::string Server::ProcessRequest(const wire::Frame& frame) {
       return ProcessQuery(frame.payload);
     case wire::MessageType::kBatchQuery:
       return ProcessBatchQuery(frame.payload);
+    case wire::MessageType::kApproxQuery:
+      return ProcessApprox(frame.payload);
     default:
       return ErrorFrame(util::Status::Internal("unreachable request type"));
   }
@@ -430,6 +438,25 @@ std::string Server::ProcessBatchQuery(std::string_view payload) {
   }
   return wire::EncodeFrame(wire::MessageType::kBatchQueryReply,
                            wire::EncodeBatchQueryReply(replies));
+}
+
+std::string Server::ProcessApprox(std::string_view payload) {
+  auto request = wire::DecodeApproxRequest(payload);
+  if (!request.ok()) return ErrorFrame(request.status());
+  serve::ApproxQueryConfig config;
+  config.mode = static_cast<approx::ApproxMode>(request.value().mode);
+  config.seed = request.value().seed;
+  config.samples = static_cast<int32_t>(request.value().samples);
+  config.confidence = request.value().confidence;
+  // Estimator-internal parallelism stays off: each request is one pool
+  // task, and the reply must not depend on worker count anyway.
+  config.num_threads = 1;
+  auto result = catalog_->ApproxQuery(request.value().pattern, config);
+  if (!result.ok()) return ErrorFrame(result.status());
+  return wire::EncodeFrame(wire::MessageType::kApproxReply,
+                           wire::EncodeApproxReply(
+                               wire::ReplyFromApprox(result.value())),
+                           wire::kApproxWireVersion);
 }
 
 std::string Server::ProcessStats(std::string_view payload) {

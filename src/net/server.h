@@ -155,6 +155,7 @@ class Server {
   std::string ProcessRequest(const wire::Frame& frame);
   std::string ProcessQuery(std::string_view payload);
   std::string ProcessBatchQuery(std::string_view payload);
+  std::string ProcessApprox(std::string_view payload);
   std::string ProcessStats(std::string_view payload);
   std::string ProcessHealth();
   // One structured log line with the current counters (see

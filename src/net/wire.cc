@@ -91,6 +91,8 @@ const char* MessageTypeName(MessageType type) {
       return "Stats";
     case MessageType::kHealth:
       return "Health";
+    case MessageType::kApproxQuery:
+      return "ApproxQuery";
     case MessageType::kQueryReply:
       return "QueryReply";
     case MessageType::kBatchQueryReply:
@@ -99,6 +101,8 @@ const char* MessageTypeName(MessageType type) {
       return "StatsReply";
     case MessageType::kHealthReply:
       return "HealthReply";
+    case MessageType::kApproxReply:
+      return "ApproxReply";
     case MessageType::kError:
       return "Error";
     case MessageType::kRetryLater:
@@ -115,10 +119,12 @@ bool IsKnownType(uint8_t raw) {
     case MessageType::kBatchQuery:
     case MessageType::kStats:
     case MessageType::kHealth:
+    case MessageType::kApproxQuery:
     case MessageType::kQueryReply:
     case MessageType::kBatchQueryReply:
     case MessageType::kStatsReply:
     case MessageType::kHealthReply:
+    case MessageType::kApproxReply:
     case MessageType::kError:
     case MessageType::kRetryLater:
       return true;
@@ -409,6 +415,78 @@ util::Result<HealthReply> DecodeHealthReply(std::string_view payload) {
   return reply;
 }
 
+std::string EncodeApproxRequest(const ApproxRequest& request) {
+  util::ByteWriter w;
+  w.WriteU8(request.mode);
+  w.WriteU64(request.seed);
+  w.WriteU32(request.samples);
+  w.WriteF64(request.confidence);
+  graph::EncodeGraph(request.pattern, &w);
+  return std::move(w.TakeBuffer());
+}
+
+util::Result<ApproxRequest> DecodeApproxRequest(std::string_view payload) {
+  util::ByteReader reader(payload, "approx request");
+  ApproxRequest request;
+  GS_RETURN_IF_ERROR(reader.ReadU8(&request.mode));
+  if (request.mode > 1) {
+    return util::Status::ParseError(util::StrPrintf(
+        "unknown approx estimator mode %u", request.mode));
+  }
+  GS_RETURN_IF_ERROR(reader.ReadU64(&request.seed));
+  GS_RETURN_IF_ERROR(reader.ReadU32(&request.samples));
+  if (request.samples == 0) {
+    return util::Status::ParseError("approx sample count must be >= 1");
+  }
+  GS_RETURN_IF_ERROR(reader.ReadF64(&request.confidence));
+  // The negated comparison also rejects NaN, which would otherwise
+  // survive decode and break the request's value round trip.
+  if (!(request.confidence > 0.0 && request.confidence < 1.0)) {
+    return util::Status::ParseError(
+        "approx confidence must be strictly inside (0, 1)");
+  }
+  GS_ASSIGN_OR_RETURN(request.pattern, graph::DecodeGraph(&reader));
+  GS_RETURN_IF_ERROR(ExpectExhausted(reader));
+  return request;
+}
+
+std::string EncodeApproxReply(const ApproxReply& reply) {
+  util::ByteWriter w;
+  w.WriteU8(reply.mode);
+  w.WriteU32(reply.samples);
+  w.WriteU64(reply.hits);
+  w.WriteU64(reply.db_size);
+  w.WriteF64(reply.estimate);
+  w.WriteF64(reply.ci_lo);
+  w.WriteF64(reply.ci_hi);
+  w.WriteF64(reply.confidence);
+  return std::move(w.TakeBuffer());
+}
+
+util::Result<ApproxReply> DecodeApproxReply(std::string_view payload) {
+  util::ByteReader reader(payload, "approx reply");
+  ApproxReply reply;
+  GS_RETURN_IF_ERROR(reader.ReadU8(&reply.mode));
+  if (reply.mode > 1) {
+    return util::Status::ParseError(
+        util::StrPrintf("unknown approx estimator mode %u", reply.mode));
+  }
+  GS_RETURN_IF_ERROR(reader.ReadU32(&reply.samples));
+  GS_RETURN_IF_ERROR(reader.ReadU64(&reply.hits));
+  if (reply.hits > reply.samples) {
+    return util::Status::ParseError(util::StrPrintf(
+        "approx reply hits %llu exceed sample count %u",
+        static_cast<unsigned long long>(reply.hits), reply.samples));
+  }
+  GS_RETURN_IF_ERROR(reader.ReadU64(&reply.db_size));
+  GS_RETURN_IF_ERROR(reader.ReadF64(&reply.estimate));
+  GS_RETURN_IF_ERROR(reader.ReadF64(&reply.ci_lo));
+  GS_RETURN_IF_ERROR(reader.ReadF64(&reply.ci_hi));
+  GS_RETURN_IF_ERROR(reader.ReadF64(&reply.confidence));
+  GS_RETURN_IF_ERROR(ExpectExhausted(reader));
+  return reply;
+}
+
 std::string EncodeErrorReply(const ErrorReply& reply) {
   util::ByteWriter w;
   w.WriteU8(static_cast<uint8_t>(reply.code));
@@ -439,6 +517,19 @@ QueryReply ReplyFromResult(const serve::QueryResult& result) {
   reply.score = result.score;
   reply.iso_calls = result.iso_calls;
   reply.pruned = result.pruned;
+  return reply;
+}
+
+ApproxReply ReplyFromApprox(const serve::ApproxResult& result) {
+  ApproxReply reply;
+  reply.mode = static_cast<uint8_t>(result.mode);
+  reply.samples = static_cast<uint32_t>(result.samples);
+  reply.hits = static_cast<uint64_t>(result.hits);
+  reply.db_size = result.db_size;
+  reply.estimate = result.estimate;
+  reply.ci_lo = result.ci.lo;
+  reply.ci_hi = result.ci.hi;
+  reply.confidence = result.ci.confidence;
   return reply;
 }
 

@@ -26,6 +26,8 @@
 //   v1  original protocol
 //   v2  Stats request may carry a version byte; StatsReply may append a
 //       named work-counter section (obs::MetricsRegistry export)
+//   v3  ApproxQuery/ApproxReply: the sampling tier's estimate-with-
+//       confidence-interval query class (src/approx)
 //
 // Every reply payload is a pure function of the request and the served
 // catalog — server-side latency is deliberately *not* in QueryReply (it
@@ -50,9 +52,12 @@ namespace graphsig::net::wire {
 inline constexpr uint32_t kMagic = 0x31575347;  // "GSW1"
 // Newest protocol version this build speaks (and the oldest that still
 // interoperates: every v1 byte stream is valid v2).
-inline constexpr uint8_t kWireVersion = 2;
+inline constexpr uint8_t kWireVersion = 3;
 // Version stamped on frames that use no post-v1 feature.
 inline constexpr uint8_t kBaseWireVersion = 1;
+// Version stamped on ApproxQuery/ApproxReply frames: the lowest version
+// whose decoder knows the approx message pair.
+inline constexpr uint8_t kApproxWireVersion = 3;
 inline constexpr size_t kFrameHeaderBytes = 16;
 // Default cap on one frame's payload; a header announcing more is a
 // protocol error, not an allocation.
@@ -64,11 +69,13 @@ enum class MessageType : uint8_t {
   kBatchQuery = 2,
   kStats = 3,
   kHealth = 4,
+  kApproxQuery = 5,  // wire v3
   // Responses (server -> client); request type + 64.
   kQueryReply = 65,
   kBatchQueryReply = 66,
   kStatsReply = 67,
   kHealthReply = 68,
+  kApproxReply = 69,  // wire v3
   // Error envelope for a request the server could not serve.
   kError = 96,
   // Backpressure: the admission queue is full; retry after a pause.
@@ -197,6 +204,42 @@ struct HealthReply {
   bool operator==(const HealthReply&) const = default;
 };
 
+// Approximate-estimate request (wire v3, src/approx). `mode` is an
+// approx::ApproxMode value: 0 asks for the sampled support of `pattern`
+// in the served database, 1 for its waddling-random-walk embedding
+// count. The RNG seed travels IN the request so the reply stays a pure
+// function of (request, catalog) — byte-identical across runs, server
+// processes, and thread counts like every other reply on this wire.
+struct ApproxRequest {
+  uint8_t mode = 0;
+  uint64_t seed = 1;
+  // Sample draws (mode 0) or walks (mode 1); must be >= 1 on the wire.
+  uint32_t samples = 256;
+  // Nominal CI coverage, strictly inside (0, 1).
+  double confidence = 0.95;
+  graph::Graph pattern;
+
+  bool operator==(const ApproxRequest&) const = default;
+};
+
+// The estimate with its confidence interval. `estimate` is a support
+// count (mode 0) or a total embedding count (mode 1); `hits` is the
+// number of sampled graphs that contained the pattern (mode 0) or of
+// walks that completed an embedding (mode 1), never above `samples`.
+struct ApproxReply {
+  uint8_t mode = 0;
+  uint32_t samples = 0;
+  uint64_t hits = 0;
+  // Size of the served database the estimate extrapolates over.
+  uint64_t db_size = 0;
+  double estimate = 0.0;
+  double ci_lo = 0.0;
+  double ci_hi = 0.0;
+  double confidence = 0.0;
+
+  bool operator==(const ApproxReply&) const = default;
+};
+
 struct ErrorReply {
   util::StatusCode code = util::StatusCode::kInternal;
   std::string message;
@@ -229,12 +272,21 @@ util::Result<StatsReply> DecodeStatsReply(std::string_view payload);
 std::string EncodeHealthReply(const HealthReply& reply);
 util::Result<HealthReply> DecodeHealthReply(std::string_view payload);
 
+std::string EncodeApproxRequest(const ApproxRequest& request);
+util::Result<ApproxRequest> DecodeApproxRequest(std::string_view payload);
+
+std::string EncodeApproxReply(const ApproxReply& reply);
+util::Result<ApproxReply> DecodeApproxReply(std::string_view payload);
+
 std::string EncodeErrorReply(const ErrorReply& reply);
 util::Result<ErrorReply> DecodeErrorReply(std::string_view payload);
 
 // Projects a served QueryResult onto the deterministic wire fields
 // (drops latency; see the framing comment above).
 QueryReply ReplyFromResult(const serve::QueryResult& result);
+
+// Projects a served approximate estimate onto the wire reply.
+ApproxReply ReplyFromApprox(const serve::ApproxResult& result);
 
 }  // namespace graphsig::net::wire
 

@@ -7,6 +7,7 @@
 #include "graph/isomorphism.h"
 #include "obs/metrics.h"
 #include "util/parallel.h"
+#include "util/strings.h"
 #include "util/timer.h"
 
 namespace graphsig::serve {
@@ -207,6 +208,55 @@ QueryResult PatternCatalog::Query(const graph::Graph& query,
     stats.pattern_matches +=
         static_cast<int64_t>(result.matched_patterns.size());
   }
+  return result;
+}
+
+util::Result<ApproxResult> PatternCatalog::ApproxQuery(
+    const graph::Graph& pattern, const ApproxQueryConfig& config) const {
+  if (config.samples > kMaxApproxSamplesPerQuery) {
+    return util::Status::InvalidArgument(util::StrPrintf(
+        "approx sample count %d exceeds per-query cap %d", config.samples,
+        kMaxApproxSamplesPerQuery));
+  }
+  ApproxResult result;
+  result.mode = config.mode;
+  result.samples = config.samples;
+  result.db_size = artifact_.database.size();
+  switch (config.mode) {
+    case approx::ApproxMode::kSupport: {
+      approx::SupportConfig support;
+      support.seed = config.seed;
+      support.num_samples = config.samples;
+      support.confidence = config.confidence;
+      support.num_threads = config.num_threads;
+      GS_ASSIGN_OR_RETURN(
+          const approx::SupportEstimate estimate,
+          approx::EstimateSupport(artifact_.database, pattern, support));
+      result.estimate = estimate.support;
+      result.ci = estimate.support_ci;
+      result.hits = estimate.hits;
+      break;
+    }
+    case approx::ApproxMode::kFrequency: {
+      approx::FrequencyConfig frequency;
+      frequency.seed = config.seed;
+      frequency.num_walks = config.samples;
+      frequency.confidence = config.confidence;
+      frequency.num_threads = config.num_threads;
+      GS_ASSIGN_OR_RETURN(
+          const approx::FrequencyEstimate estimate,
+          approx::EstimateFrequency(artifact_.database, pattern, frequency));
+      result.estimate = estimate.embeddings;
+      result.ci = estimate.ci;
+      result.hits = estimate.hits;
+      break;
+    }
+  }
+  // Only successful estimates count: the smoke script cross-checks this
+  // counter against the loadgen's per-class OK totals.
+  static obs::Counter* const approx_queries =
+      obs::MetricsRegistry::Global().GetCounter("serve/approx_queries");
+  approx_queries->Increment();
   return result;
 }
 

@@ -24,6 +24,7 @@
 #include <tuple>
 #include <vector>
 
+#include "approx/estimators.h"
 #include "classify/sig_knn.h"
 #include "graph/graph.h"
 #include "model/artifact.h"
@@ -72,6 +73,37 @@ struct LatencySummary {
 LatencySummary SummarizeLatencies(std::vector<double> latencies_ms,
                                   double wall_seconds);
 
+// The second query class: a sampling-based estimate (src/approx) over
+// the INDEXED DATABASE rather than the pattern catalog. The seed is
+// part of the query, so the result is a pure function of (query,
+// catalog) just like exact queries.
+struct ApproxQueryConfig {
+  approx::ApproxMode mode = approx::ApproxMode::kSupport;
+  uint64_t seed = 1;
+  // Sample draws (kSupport) or walks (kFrequency); capped server-side
+  // by kMaxApproxSamplesPerQuery.
+  int32_t samples = 256;
+  double confidence = 0.95;
+  // Estimator-internal parallelism. Server handlers keep this at 1 —
+  // under load, concurrency comes from concurrent requests.
+  int num_threads = 1;
+};
+
+// One request's worth of estimator work is bounded so a single frame
+// cannot buy unbounded CPU (mirrors the max-frame-bytes cap).
+inline constexpr int32_t kMaxApproxSamplesPerQuery = 1 << 20;
+
+struct ApproxResult {
+  approx::ApproxMode mode = approx::ApproxMode::kSupport;
+  // Support count (kSupport) or total embedding count (kFrequency).
+  double estimate = 0.0;
+  approx::ConfidenceInterval ci;
+  // Hit samples (kSupport) or completed walks (kFrequency).
+  int64_t hits = 0;
+  int32_t samples = 0;
+  uint64_t db_size = 0;
+};
+
 // Cumulative serving telemetry across every Query()/QueryBatch() call on
 // one catalog — the counters a long-lived server exports. Snapshot via
 // PatternCatalog::stats().
@@ -111,6 +143,12 @@ class PatternCatalog {
   std::vector<QueryResult> QueryBatch(
       const std::vector<graph::Graph>& queries,
       const CatalogQueryConfig& config = {}) const;
+
+  // Answers one approximate query (the wire's ApproxQuery class) over
+  // the indexed database. Deterministic for a fixed config; increments
+  // the serve/approx_queries work counter on success. Thread-safe.
+  util::Result<ApproxResult> ApproxQuery(
+      const graph::Graph& pattern, const ApproxQueryConfig& config) const;
 
   // Atomic snapshot of the cumulative counters: one lock acquisition
   // copies the whole aggregate set, so a reader interleaving with

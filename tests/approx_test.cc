@@ -1,0 +1,284 @@
+// Approximate mining tier tests (src/approx). The two load-bearing
+// properties, per DESIGN.md §13:
+//   1. Calibration — over many seeds, the nominal 95% confidence
+//      intervals actually contain the brute-force truth at a rate near
+//      nominal (asserted >= 90%, leaving slack for CLT approximation).
+//   2. Determinism — for a fixed seed, results AND work counters are
+//      byte-identical across thread counts.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include "approx/ci.h"
+#include "approx/estimators.h"
+#include "data/datasets.h"
+#include "graph/isomorphism.h"
+#include "obs/metrics.h"
+#include "util/strings.h"
+
+namespace graphsig::approx {
+namespace {
+
+graph::GraphDatabase TestScreen() {
+  data::DatasetOptions options;
+  options.size = 30;
+  options.seed = 99;
+  options.active_fraction = 0.3;
+  return data::MakeCancerScreen("MCF-7", options);
+}
+
+// A small connected pattern cut out of the database itself (a vertex,
+// one of its neighbors, and one more BFS vertex), so it has nontrivial
+// support without being universal.
+graph::Graph SmallPattern(const graph::GraphDatabase& db) {
+  const graph::Graph& g = db.graph(0);
+  std::vector<graph::VertexId> verts = g.VerticesWithinRadius(0, 1);
+  verts.resize(std::min<size_t>(verts.size(), 3));
+  return g.InducedSubgraph(verts);
+}
+
+// ---------------------------------------------------------------------
+// Interval math.
+
+TEST(ApproxCiTest, NormalQuantileMatchesKnownValues) {
+  EXPECT_NEAR(NormalQuantile(0.5), 0.0, 1e-9);
+  EXPECT_NEAR(NormalQuantile(0.975), 1.959964, 1e-5);
+  EXPECT_NEAR(NormalQuantile(0.025), -1.959964, 1e-5);
+  EXPECT_NEAR(NormalQuantile(0.995), 2.575829, 1e-5);
+}
+
+TEST(ApproxCiTest, WilsonIntervalBracketsTheObservedFraction) {
+  const ConfidenceInterval ci = WilsonInterval(30, 100, 0.95);
+  EXPECT_TRUE(ci.Contains(0.3));
+  EXPECT_GT(ci.lo, 0.0);
+  EXPECT_LT(ci.hi, 1.0);
+  // Extremes stay clamped to the unit interval.
+  EXPECT_EQ(WilsonInterval(0, 50, 0.95).lo, 0.0);
+  EXPECT_EQ(WilsonInterval(50, 50, 0.95).hi, 1.0);
+  // Higher confidence can only widen the interval.
+  const ConfidenceInterval wider = WilsonInterval(30, 100, 0.99);
+  EXPECT_LE(wider.lo, ci.lo);
+  EXPECT_GE(wider.hi, ci.hi);
+}
+
+TEST(ApproxCiTest, MeanIntervalDegeneratesWithoutVariance) {
+  const ConfidenceInterval point = MeanInterval(5.0, 0.0, 100, 0.95);
+  EXPECT_EQ(point.lo, 5.0);
+  EXPECT_EQ(point.hi, 5.0);
+  const ConfidenceInterval ci = MeanInterval(5.0, 4.0, 100, 0.95);
+  EXPECT_NEAR(ci.lo, 5.0 - 1.959964 * 0.2, 1e-4);
+  EXPECT_NEAR(ci.hi, 5.0 + 1.959964 * 0.2, 1e-4);
+}
+
+// ---------------------------------------------------------------------
+// Calibration against brute force.
+
+TEST(ApproxCoverageTest, SupportIntervalsCoverTheExactCount) {
+  const graph::GraphDatabase db = TestScreen();
+  const graph::Graph pattern = SmallPattern(db);
+  int64_t true_support = 0;
+  for (size_t g = 0; g < db.size(); ++g) {
+    if (graph::IsSubgraphIsomorphic(pattern, db.graph(g))) ++true_support;
+  }
+  // The pattern must discriminate for the test to mean anything.
+  ASSERT_GT(true_support, 0);
+
+  int covered = 0;
+  const int kSeeds = 100;
+  for (int seed = 0; seed < kSeeds; ++seed) {
+    SupportConfig config;
+    config.seed = 1000 + static_cast<uint64_t>(seed);
+    config.num_samples = 200;
+    config.confidence = 0.95;
+    auto estimate = EstimateSupport(db, pattern, config);
+    ASSERT_TRUE(estimate.ok()) << estimate.status().ToString();
+    if (estimate.value().support_ci.Contains(
+            static_cast<double>(true_support))) {
+      ++covered;
+    }
+  }
+  // Nominal coverage is 95%; 90/100 leaves room for the normal
+  // approximation inside Wilson without letting a broken interval pass.
+  EXPECT_GE(covered, 90) << "of " << kSeeds;
+}
+
+TEST(ApproxCoverageTest, FrequencyIntervalsCoverTheExactEmbeddingCount) {
+  const graph::GraphDatabase db = TestScreen();
+  const graph::Graph pattern = SmallPattern(db);
+  double true_embeddings = 0.0;
+  for (size_t g = 0; g < db.size(); ++g) {
+    true_embeddings +=
+        static_cast<double>(graph::CountEmbeddings(pattern, db.graph(g)));
+  }
+  ASSERT_GT(true_embeddings, 0.0);
+
+  int covered = 0;
+  const int kSeeds = 100;
+  for (int seed = 0; seed < kSeeds; ++seed) {
+    FrequencyConfig config;
+    config.seed = 2000 + static_cast<uint64_t>(seed);
+    config.num_walks = 4000;
+    config.confidence = 0.95;
+    auto estimate = EstimateFrequency(db, pattern, config);
+    ASSERT_TRUE(estimate.ok()) << estimate.status().ToString();
+    if (estimate.value().ci.Contains(true_embeddings)) ++covered;
+  }
+  EXPECT_GE(covered, 90) << "of " << kSeeds;
+}
+
+// ---------------------------------------------------------------------
+// Determinism across thread counts.
+
+std::string Serialize(const SupportEstimate& e) {
+  return util::StrPrintf(
+      "hits=%lld n=%d fraction=%.17g support=%.17g fci=[%.17g,%.17g,%.17g] "
+      "sci=[%.17g,%.17g,%.17g]",
+      static_cast<long long>(e.hits), e.num_samples, e.fraction, e.support,
+      e.fraction_ci.lo, e.fraction_ci.hi, e.fraction_ci.confidence,
+      e.support_ci.lo, e.support_ci.hi, e.support_ci.confidence);
+}
+
+std::string Serialize(const FrequencyEstimate& e) {
+  return util::StrPrintf(
+      "embeddings=%.17g ci=[%.17g,%.17g,%.17g] hits=%lld walks=%d",
+      e.embeddings, e.ci.lo, e.ci.hi, e.ci.confidence,
+      static_cast<long long>(e.hits), e.num_walks);
+}
+
+std::string Serialize(const TopKResult& r) {
+  std::string out = util::StrPrintf(
+      "drawn=%lld kept=%lld distinct=%lld\n",
+      static_cast<long long>(r.samples_drawn),
+      static_cast<long long>(r.samples_kept),
+      static_cast<long long>(r.distinct_patterns));
+  for (const TopKCandidate& c : r.top) {
+    out += util::StrPrintf("%lld %s | %s | %s\n",
+                           static_cast<long long>(c.times_sampled),
+                           c.canonical_key.c_str(),
+                           c.pattern.ToString().c_str(),
+                           Serialize(c.support).c_str());
+  }
+  return out;
+}
+
+std::string SerializeWorkCounters() {
+  std::string out;
+  for (const auto& [name, value] :
+       obs::MetricsRegistry::Global().WorkValues()) {
+    out += util::StrPrintf("%s=%llu\n", name.c_str(),
+                           static_cast<unsigned long long>(value));
+  }
+  return out;
+}
+
+TEST(ApproxDeterminismTest, ResultsAndCountersAreThreadCountInvariant) {
+  const graph::GraphDatabase db = TestScreen();
+  const graph::Graph pattern = SmallPattern(db);
+
+  // One serialized transcript per thread count: every estimator's full
+  // result plus the global work counters after the runs. Byte equality
+  // across thread counts is the contract the server relies on.
+  std::vector<std::string> transcripts;
+  for (const int threads : {1, 4, 8}) {
+    obs::MetricsRegistry::Global().Reset();
+    std::string transcript;
+
+    SupportConfig support;
+    support.seed = 42;
+    support.num_samples = 300;
+    support.num_threads = threads;
+    auto support_estimate = EstimateSupport(db, pattern, support);
+    ASSERT_TRUE(support_estimate.ok());
+    transcript += Serialize(support_estimate.value()) + "\n";
+
+    FrequencyConfig frequency;
+    frequency.seed = 43;
+    frequency.num_walks = 2000;
+    frequency.num_threads = threads;
+    auto frequency_estimate = EstimateFrequency(db, pattern, frequency);
+    ASSERT_TRUE(frequency_estimate.ok());
+    transcript += Serialize(frequency_estimate.value()) + "\n";
+
+    TopKConfig topk;
+    topk.seed = 44;
+    topk.k = 5;
+    topk.subgraph_edges = 3;
+    topk.num_samples = 400;
+    topk.support_samples = 64;
+    topk.num_threads = threads;
+    auto topk_result = SampleTopK(db, topk);
+    ASSERT_TRUE(topk_result.ok());
+    transcript += Serialize(topk_result.value());
+
+    transcript += SerializeWorkCounters();
+    transcripts.push_back(std::move(transcript));
+  }
+  EXPECT_EQ(transcripts[0], transcripts[1]);
+  EXPECT_EQ(transcripts[0], transcripts[2]);
+}
+
+// ---------------------------------------------------------------------
+// Top-k structure and input validation.
+
+TEST(ApproxTopKTest, RanksDistinctPatternsByDrawCount) {
+  const graph::GraphDatabase db = TestScreen();
+  TopKConfig config;
+  config.seed = 7;
+  config.k = 8;
+  config.subgraph_edges = 3;
+  config.num_samples = 500;
+  config.support_samples = 64;
+  auto result = SampleTopK(db, config);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  const TopKResult& top = result.value();
+  EXPECT_EQ(top.samples_drawn, 500);
+  EXPECT_GT(top.samples_kept, 0);
+  ASSERT_FALSE(top.top.empty());
+  EXPECT_LE(top.top.size(), 8u);
+  for (size_t i = 0; i < top.top.size(); ++i) {
+    const TopKCandidate& c = top.top[i];
+    EXPECT_EQ(c.pattern.num_edges(), 3) << i;
+    EXPECT_GT(c.times_sampled, 0) << i;
+    if (i > 0) {
+      EXPECT_GE(top.top[i - 1].times_sampled, c.times_sampled) << i;
+      EXPECT_NE(top.top[i - 1].canonical_key, c.canonical_key) << i;
+    }
+    // Each candidate carries a support estimate bracketing its point.
+    EXPECT_EQ(c.support.num_samples, 64) << i;
+    EXPECT_TRUE(c.support.support_ci.Contains(c.support.support)) << i;
+  }
+}
+
+TEST(ApproxValidationTest, RejectsBadInputs) {
+  const graph::GraphDatabase db = TestScreen();
+  const graph::Graph pattern = SmallPattern(db);
+  const graph::GraphDatabase empty;
+
+  EXPECT_FALSE(EstimateSupport(empty, pattern, {}).ok());
+  SupportConfig bad_confidence;
+  bad_confidence.confidence = 1.0;
+  EXPECT_FALSE(EstimateSupport(db, pattern, bad_confidence).ok());
+  SupportConfig no_samples;
+  no_samples.num_samples = 0;
+  EXPECT_FALSE(EstimateSupport(db, pattern, no_samples).ok());
+
+  // Frequency needs a non-empty, connected pattern.
+  EXPECT_FALSE(EstimateFrequency(db, graph::Graph(), {}).ok());
+  graph::Graph disconnected;
+  disconnected.AddVertex(0);
+  disconnected.AddVertex(0);
+  EXPECT_FALSE(EstimateFrequency(db, disconnected, {}).ok());
+
+  TopKConfig no_k;
+  no_k.k = 0;
+  EXPECT_FALSE(SampleTopK(db, no_k).ok());
+  TopKConfig no_edges;
+  no_edges.subgraph_edges = 0;
+  EXPECT_FALSE(SampleTopK(db, no_edges).ok());
+}
+
+}  // namespace
+}  // namespace graphsig::approx

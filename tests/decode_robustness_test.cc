@@ -10,7 +10,6 @@
 //    decoded and the byte offset of the failed read.
 
 #include <cstdint>
-#include <random>
 #include <string>
 #include <string_view>
 #include <vector>
@@ -24,6 +23,7 @@
 #include "graph/serialize.h"
 #include "model/artifact.h"
 #include "util/binary.h"
+#include "util/rng.h"
 #include "util/status.h"
 
 namespace graphsig {
@@ -139,26 +139,25 @@ TEST(ArtifactCorruptionSweep, TruncationAtEveryPrefixIsACleanError) {
   }
 }
 
-Graph RandomGraph(std::mt19937_64* rng, int trial) {
-  std::uniform_int_distribution<int> vertex_count(0, 12);
-  std::uniform_int_distribution<int> vertex_label(0, 20);
-  std::uniform_int_distribution<int> edge_label(0, 5);
-  std::bernoulli_distribution include_edge(0.3);
-
+Graph RandomGraph(util::Rng* rng, int trial) {
   Graph g(trial);
   g.set_tag(trial % 2);
-  const int n = vertex_count(*rng);
-  for (int v = 0; v < n; ++v) g.AddVertex(vertex_label(*rng));
+  const int n = static_cast<int>(rng->NextInt(0, 12));
+  for (int v = 0; v < n; ++v) {
+    g.AddVertex(static_cast<graph::Label>(rng->NextInt(0, 20)));
+  }
   for (int u = 0; u < n; ++u) {
     for (int v = u + 1; v < n; ++v) {
-      if (include_edge(*rng)) g.AddEdge(u, v, edge_label(*rng));
+      if (rng->NextBernoulli(0.3)) {
+        g.AddEdge(u, v, static_cast<graph::Label>(rng->NextInt(0, 5)));
+      }
     }
   }
   return g;
 }
 
 TEST(GraphCodecProperty, RandomGraphsRoundTripByteIdentically) {
-  std::mt19937_64 rng(0xC0DEC5EEDull);
+  util::Rng rng(0xC0DEC5EEDull);
   GraphDatabase db;
   for (int trial = 0; trial < 200; ++trial) {
     const Graph g = RandomGraph(&rng, trial);

@@ -14,6 +14,7 @@
 
 #include <cstring>
 
+#include <limits>
 #include <optional>
 #include <string>
 #include <thread>
@@ -412,6 +413,80 @@ TEST(WireCodecTest, TrailingBytesAreRejected) {
   EXPECT_FALSE(wire::DecodeQueryReply(payload).ok());
 }
 
+TEST(WireCodecTest, ApproxMessagesRoundTrip) {
+  const Fixture& f = SharedFixture();
+
+  wire::ApproxRequest request;
+  request.mode = 1;
+  request.seed = 0xDEADBEEFCAFEull;
+  request.samples = 512;
+  request.confidence = 0.99;
+  request.pattern = f.db.graph(2);
+  auto request_again =
+      wire::DecodeApproxRequest(wire::EncodeApproxRequest(request));
+  ASSERT_TRUE(request_again.ok()) << request_again.status().ToString();
+  EXPECT_TRUE(request_again.value() == request);
+
+  wire::ApproxReply reply;
+  reply.mode = 0;
+  reply.samples = 200;
+  reply.hits = 137;
+  reply.db_size = 40;
+  reply.estimate = 27.4;
+  reply.ci_lo = 24.1;
+  reply.ci_hi = 30.0;
+  reply.confidence = 0.95;
+  auto reply_again = wire::DecodeApproxReply(wire::EncodeApproxReply(reply));
+  ASSERT_TRUE(reply_again.ok()) << reply_again.status().ToString();
+  EXPECT_TRUE(reply_again.value() == reply);
+}
+
+TEST(WireCodecTest, ApproxNonCanonicalEncodingsRejected) {
+  const Fixture& f = SharedFixture();
+  wire::ApproxRequest request;
+  request.pattern = f.db.graph(0);
+  const std::string good = wire::EncodeApproxRequest(request);
+  ASSERT_TRUE(wire::DecodeApproxRequest(good).ok());
+
+  {  // Trailing bytes.
+    std::string bad = good;
+    bad.push_back('\0');
+    EXPECT_FALSE(wire::DecodeApproxRequest(bad).ok());
+  }
+  {  // Unknown mode.
+    wire::ApproxRequest bad = request;
+    bad.mode = 2;
+    EXPECT_FALSE(
+        wire::DecodeApproxRequest(wire::EncodeApproxRequest(bad)).ok());
+  }
+  {  // Zero samples would buy zero work — refused at the wire.
+    wire::ApproxRequest bad = request;
+    bad.samples = 0;
+    EXPECT_FALSE(
+        wire::DecodeApproxRequest(wire::EncodeApproxRequest(bad)).ok());
+  }
+  {  // Confidence outside (0, 1) — including NaN, which fails every
+    // ordered comparison and must not sneak through a negated check.
+    wire::ApproxRequest bad = request;
+    bad.confidence = 1.0;
+    EXPECT_FALSE(
+        wire::DecodeApproxRequest(wire::EncodeApproxRequest(bad)).ok());
+    bad.confidence = std::numeric_limits<double>::quiet_NaN();
+    EXPECT_FALSE(
+        wire::DecodeApproxRequest(wire::EncodeApproxRequest(bad)).ok());
+  }
+
+  wire::ApproxReply reply;
+  reply.samples = 10;
+  reply.hits = 11;  // hits > samples is unrepresentable estimator state
+  EXPECT_FALSE(wire::DecodeApproxReply(wire::EncodeApproxReply(reply)).ok());
+  reply.hits = 10;
+  std::string reply_bytes = wire::EncodeApproxReply(reply);
+  ASSERT_TRUE(wire::DecodeApproxReply(reply_bytes).ok());
+  reply_bytes.push_back('x');
+  EXPECT_FALSE(wire::DecodeApproxReply(reply_bytes).ok());
+}
+
 // ---------------------------------------------------------------------
 // Loopback end-to-end.
 
@@ -591,6 +666,50 @@ void ExpectErrorThenClose(uint16_t port, const std::string& bytes) {
   std::string rest;
   util::Status eof = ReadExact(fd, 1, &rest);
   EXPECT_FALSE(eof.ok());
+}
+
+TEST(NetServerTest, ApproxQueriesServeOverTheWire) {
+  const Fixture& f = SharedFixture();
+  TestServer server;
+  Client client(MakeClientConfig(server.port()));
+  ASSERT_TRUE(client.Connect().ok());
+
+  for (const uint8_t mode : {uint8_t{0}, uint8_t{1}}) {
+    wire::ApproxRequest request;
+    request.mode = mode;
+    request.seed = 99 + mode;
+    request.samples = 64;
+    request.confidence = 0.95;
+    request.pattern = f.db.graph(3);
+    auto reply = client.Approx(request);
+    ASSERT_TRUE(reply.ok()) << reply.status().ToString();
+
+    // The wire reply must be byte-identical to the in-process estimate
+    // under ProcessApprox's config (num_threads = 1).
+    serve::ApproxQueryConfig config;
+    config.mode = static_cast<approx::ApproxMode>(request.mode);
+    config.seed = request.seed;
+    config.samples = static_cast<int32_t>(request.samples);
+    config.confidence = request.confidence;
+    config.num_threads = 1;
+    auto expected = f.catalog->ApproxQuery(request.pattern, config);
+    ASSERT_TRUE(expected.ok()) << expected.status().ToString();
+    EXPECT_EQ(
+        wire::EncodeApproxReply(reply.value()),
+        wire::EncodeApproxReply(wire::ReplyFromApprox(expected.value())));
+    EXPECT_EQ(reply.value().db_size, f.db.size());
+  }
+
+  // A sample count above the serving cap is refused with an error reply,
+  // not served; the connection stays usable afterwards.
+  wire::ApproxRequest oversized;
+  oversized.samples =
+      static_cast<uint32_t>(serve::kMaxApproxSamplesPerQuery) + 1;
+  oversized.pattern = f.db.graph(0);
+  EXPECT_FALSE(client.Approx(oversized).ok());
+  wire::ApproxRequest again;
+  again.pattern = f.db.graph(0);
+  EXPECT_TRUE(client.Approx(again).ok());
 }
 
 TEST(NetServerTest, MalformedFrameGetsErrorReplyThenClose) {

@@ -9,12 +9,21 @@
 //                    [--format=smiles|sdf|gspan] [--qps=200]
 //                    [--duration=2] [--connections=1] [--seed=1]
 //                    [--count=0 (override qps*duration)] [--no-matches]
-//                    [--no-score] [--json=FILE] [--verify-model=FILE]
+//                    [--no-score] [--mix=0.0] [--approx-samples=32]
+//                    [--json=FILE] [--verify-model=FILE]
 //                    [--metrics-out=FILE]
 //
+// --mix=F sends fraction F of the schedule as ApproxQuery requests (the
+// sampling tier's second query class, wire v3) instead of exact Query
+// requests; which slots go approx — and each approx request's estimator
+// seed — is part of the seeded schedule, so the blended request stream
+// replays exactly. Latency accounting is kept per query class: the JSON
+// reports separate exact/approx histograms, never a blended one.
+//
 // --verify-model loads the same artifact the server serves and checks
-// every reply byte-for-byte against an in-process PatternCatalog::Query
-// — the wire protocol's determinism guarantee, enforced end to end.
+// every reply byte-for-byte against an in-process PatternCatalog — the
+// wire protocol's determinism guarantee, enforced end to end for both
+// query classes.
 //
 // Exit status is 0 only if every request got a well-formed reply (server
 // RETRY_LATER backpressure is counted separately and tolerated) and no
@@ -29,6 +38,7 @@
 #include <thread>
 #include <vector>
 
+#include "approx/estimators.h"
 #include "net/client.h"
 #include "net/wire.h"
 #include "serve/pattern_catalog.h"
@@ -49,6 +59,7 @@ constexpr int kHistogramBuckets = 26;  // up to ~33.5s, then overflow
 struct Sample {
   double latency_ms = 0.0;
   enum class Outcome : uint8_t { kOk, kRetryLater, kError } outcome;
+  bool is_approx = false;
   bool mismatch = false;
 };
 
@@ -75,6 +86,47 @@ double NearestRank(const std::vector<double>& sorted, double pct) {
   return sorted[rank - 1];
 }
 
+// Per-query-class (exact vs approx) reply accounting. Latency shapes of
+// the two classes differ wildly, so blending them into one histogram
+// hides both; every class keeps its own.
+struct ClassTally {
+  int64_t ok = 0;
+  std::vector<double> latencies;  // sorted before reporting
+  std::vector<int64_t> histogram = std::vector<int64_t>(kHistogramBuckets, 0);
+
+  void Record(double latency_ms) {
+    ++ok;
+    latencies.push_back(latency_ms);
+    ++histogram[static_cast<size_t>(HistogramBucket(latency_ms))];
+  }
+};
+
+std::string LatencySummaryJson(const std::vector<double>& sorted) {
+  double mean = 0.0;
+  for (double l : sorted) mean += l;
+  if (!sorted.empty()) mean /= static_cast<double>(sorted.size());
+  return graphsig::util::StrPrintf(
+      "{\"mean\": %.4f, \"p50\": %.4f, \"p95\": %.4f, \"p99\": %.4f, "
+      "\"max\": %.4f}",
+      mean, NearestRank(sorted, 50.0), NearestRank(sorted, 95.0),
+      NearestRank(sorted, 99.0), sorted.empty() ? 0.0 : sorted.back());
+}
+
+std::string HistogramJson(const std::vector<int64_t>& histogram,
+                          const char* indent) {
+  std::string json = "[\n";
+  for (int b = 0; b < kHistogramBuckets; ++b) {
+    json += graphsig::util::StrPrintf(
+        "%s  {\"le_us\": %llu, \"count\": %lld}%s\n", indent,
+        static_cast<unsigned long long>(1ull << b),
+        static_cast<long long>(histogram[static_cast<size_t>(b)]),
+        b + 1 < kHistogramBuckets ? "," : "");
+  }
+  json += indent;
+  json += "]";
+  return json;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -90,7 +142,8 @@ int main(int argc, char** argv) {
                  "[--host=ADDR] [--format=smiles|sdf|gspan] [--qps=200] "
                  "[--duration=SECONDS] [--connections=N] [--seed=N] "
                  "[--count=N (override qps*duration)] [--no-matches] "
-                 "[--no-score] [--json=FILE] [--verify-model=FILE] "
+                 "[--no-score] [--mix=F (approx fraction)] "
+                 "[--approx-samples=N] [--json=FILE] [--verify-model=FILE] "
                  "[--metrics-out=FILE]\n");
     return 1;
   }
@@ -119,20 +172,53 @@ int main(int argc, char** argv) {
   options.compute_matches = !flags.GetBool("no-matches");
   options.compute_score = !flags.GetBool("no-score");
 
-  // The whole workload — which graph each request sends, and when — is a
-  // pure function of (--seed, --qps, --count), independent of thread
-  // interleaving, so two runs offer the server the same request stream.
-  util::Rng rng(seed);
-  std::vector<size_t> picks(static_cast<size_t>(total));
-  for (size_t i = 0; i < picks.size(); ++i) {
-    picks[i] = static_cast<size_t>(rng.NextBounded(db.size()));
+  const double mix = flags.GetDouble("mix", 0.0);
+  if (mix < 0.0 || mix > 1.0) {
+    std::fprintf(stderr, "error: --mix must be in [0, 1]\n");
+    return 1;
+  }
+  const int32_t approx_samples =
+      static_cast<int32_t>(flags.GetInt("approx-samples", 32));
+  if (approx_samples <= 0) {
+    std::fprintf(stderr, "error: --approx-samples must be positive\n");
+    return 1;
   }
 
-  // Expected reply bytes per database graph, computed in-process from
-  // the same artifact the server loaded. Encoded lazily per distinct
-  // graph actually picked (a big database with a short run would waste
-  // startup time otherwise).
+  // The whole workload — which graph each request sends, which class it
+  // belongs to, each approx request's estimator seed, and when it goes
+  // out — is a pure function of (--seed, --qps, --count, --mix),
+  // independent of thread interleaving, so two runs offer the server
+  // the same request stream. Every slot draws the same THREE values
+  // whether or not it ends up approx, so changing --mix never shifts a
+  // later request's pick.
+  util::Rng rng(seed);
+  std::vector<size_t> picks(static_cast<size_t>(total));
+  std::vector<uint8_t> approx_slot(static_cast<size_t>(total), 0);
+  std::vector<uint64_t> approx_seeds(static_cast<size_t>(total), 0);
+  for (size_t i = 0; i < picks.size(); ++i) {
+    picks[i] = static_cast<size_t>(rng.NextBounded(db.size()));
+    approx_slot[i] = rng.NextBernoulli(mix) ? 1 : 0;
+    approx_seeds[i] = rng.NextU64();
+  }
+
+  const auto approx_request_for = [&](size_t i) {
+    wire::ApproxRequest request;
+    request.mode = static_cast<uint8_t>(approx::ApproxMode::kSupport);
+    request.seed = approx_seeds[i];
+    request.samples = static_cast<uint32_t>(approx_samples);
+    request.confidence = 0.95;
+    request.pattern = db.graph(picks[i]);
+    return request;
+  };
+
+  // Expected reply bytes, computed in-process from the same artifact
+  // the server loaded. Exact replies are a function of the graph, so
+  // they are encoded lazily per distinct graph actually picked (a big
+  // database with a short run would waste startup time otherwise);
+  // approx replies also depend on the per-request seed, so those are
+  // encoded per approx slot.
   std::vector<std::string> expected;
+  std::vector<std::string> expected_approx;
   bool verify = false;
   const std::string verify_model = flags.GetString("verify-model", "");
   if (!verify_model.empty()) {
@@ -144,11 +230,28 @@ int main(int argc, char** argv) {
     qconfig.compute_score = options.compute_score;
     expected.resize(db.size());
     std::vector<bool> needed(db.size(), false);
-    for (size_t pick : picks) needed[pick] = true;
+    for (size_t i = 0; i < picks.size(); ++i) {
+      if (!approx_slot[i]) needed[picks[i]] = true;
+    }
     for (size_t g = 0; g < db.size(); ++g) {
       if (!needed[g]) continue;
       expected[g] = wire::EncodeQueryReply(
           wire::ReplyFromResult(catalog.value().Query(db.graph(g), qconfig)));
+    }
+    expected_approx.resize(picks.size());
+    for (size_t i = 0; i < picks.size(); ++i) {
+      if (!approx_slot[i]) continue;
+      const wire::ApproxRequest request = approx_request_for(i);
+      serve::ApproxQueryConfig aconfig;
+      aconfig.mode = static_cast<approx::ApproxMode>(request.mode);
+      aconfig.seed = request.seed;
+      aconfig.samples = static_cast<int32_t>(request.samples);
+      aconfig.confidence = request.confidence;
+      aconfig.num_threads = 1;
+      auto result = catalog.value().ApproxQuery(request.pattern, aconfig);
+      if (!result.ok()) tools::Fail(result.status());
+      expected_approx[i] =
+          wire::EncodeApproxReply(wire::ReplyFromApprox(result.value()));
     }
     verify = true;
   }
@@ -180,24 +283,46 @@ int main(int argc, char** argv) {
           std::this_thread::sleep_for(std::chrono::duration<double>(wait));
         }
         const size_t pick = picks[static_cast<size_t>(i)];
-        util::WallTimer rpc_timer;
-        auto reply = client.Query(db.graph(pick), options);
         Sample sample;
-        sample.latency_ms = rpc_timer.ElapsedSeconds() * 1000.0;
-        if (reply.ok()) {
-          sample.outcome = Sample::Outcome::kOk;
-          if (verify &&
-              wire::EncodeQueryReply(reply.value()) != expected[pick]) {
-            sample.mismatch = true;
+        sample.is_approx = approx_slot[static_cast<size_t>(i)] != 0;
+        util::Status failure = util::Status::Ok();
+        util::WallTimer rpc_timer;
+        if (sample.is_approx) {
+          auto reply =
+              client.Approx(approx_request_for(static_cast<size_t>(i)));
+          sample.latency_ms = rpc_timer.ElapsedSeconds() * 1000.0;
+          if (reply.ok()) {
+            sample.outcome = Sample::Outcome::kOk;
+            if (verify && wire::EncodeApproxReply(reply.value()) !=
+                              expected_approx[static_cast<size_t>(i)]) {
+              sample.mismatch = true;
+            }
+          } else {
+            failure = reply.status();
           }
-        } else if (reply.status().code() == util::StatusCode::kUnavailable) {
-          // Backpressure (RETRY_LATER or drain): the offered load stays
-          // open-loop, so we drop rather than resend.
-          sample.outcome = Sample::Outcome::kRetryLater;
         } else {
-          sample.outcome = Sample::Outcome::kError;
-          if (out.first_error.empty()) {
-            out.first_error = reply.status().ToString();
+          auto reply = client.Query(db.graph(pick), options);
+          sample.latency_ms = rpc_timer.ElapsedSeconds() * 1000.0;
+          if (reply.ok()) {
+            sample.outcome = Sample::Outcome::kOk;
+            if (verify &&
+                wire::EncodeQueryReply(reply.value()) != expected[pick]) {
+              sample.mismatch = true;
+            }
+          } else {
+            failure = reply.status();
+          }
+        }
+        if (!failure.ok()) {
+          if (failure.code() == util::StatusCode::kUnavailable) {
+            // Backpressure (RETRY_LATER or drain): the offered load
+            // stays open-loop, so we drop rather than resend.
+            sample.outcome = Sample::Outcome::kRetryLater;
+          } else {
+            sample.outcome = Sample::Outcome::kError;
+            if (out.first_error.empty()) {
+              out.first_error = failure.ToString();
+            }
           }
         }
         out.samples.push_back(sample);
@@ -207,11 +332,12 @@ int main(int argc, char** argv) {
   for (std::thread& t : workers) t.join();
   const double wall_seconds = clock.ElapsedSeconds();
 
-  // Merge the per-connection tallies.
+  // Merge the per-connection tallies, keeping each query class's
+  // latency accounting separate.
   int64_t ok = 0, retries = 0, errors = 0, mismatches = 0, failed_connects = 0;
   std::string first_error;
-  std::vector<double> latencies;
-  std::vector<int64_t> histogram(kHistogramBuckets, 0);
+  ClassTally exact_tally;
+  ClassTally approx_tally;
   for (const WorkerResult& r : results) {
     if (r.connect_failed) ++failed_connects;
     if (first_error.empty()) first_error = r.first_error;
@@ -219,8 +345,7 @@ int main(int argc, char** argv) {
       switch (s.outcome) {
         case Sample::Outcome::kOk:
           ++ok;
-          latencies.push_back(s.latency_ms);
-          ++histogram[static_cast<size_t>(HistogramBucket(s.latency_ms))];
+          (s.is_approx ? approx_tally : exact_tally).Record(s.latency_ms);
           break;
         case Sample::Outcome::kRetryLater:
           ++retries;
@@ -232,14 +357,8 @@ int main(int argc, char** argv) {
       if (s.mismatch) ++mismatches;
     }
   }
-  std::sort(latencies.begin(), latencies.end());
-  double mean = 0.0;
-  for (double l : latencies) mean += l;
-  if (!latencies.empty()) mean /= static_cast<double>(latencies.size());
-  const double p50 = NearestRank(latencies, 50.0);
-  const double p95 = NearestRank(latencies, 95.0);
-  const double p99 = NearestRank(latencies, 99.0);
-  const double max = latencies.empty() ? 0.0 : latencies.back();
+  std::sort(exact_tally.latencies.begin(), exact_tally.latencies.end());
+  std::sort(approx_tally.latencies.begin(), approx_tally.latencies.end());
 
   // One Stats RPC after the run: the server's own view of the workload
   // (its protocol_errors counter is what CI asserts to be zero). The
@@ -263,15 +382,28 @@ int main(int argc, char** argv) {
 
   std::fprintf(stderr,
                "offered %lld requests at %.0f QPS over %d connections in "
-               "%.2fs: %lld ok, %lld retry-later, %lld errors, %lld "
-               "verify mismatches\n",
+               "%.2fs: %lld ok (%lld exact, %lld approx), %lld "
+               "retry-later, %lld errors, %lld verify mismatches\n",
                static_cast<long long>(total), qps, connections, wall_seconds,
-               static_cast<long long>(ok), static_cast<long long>(retries),
+               static_cast<long long>(ok),
+               static_cast<long long>(exact_tally.ok),
+               static_cast<long long>(approx_tally.ok),
+               static_cast<long long>(retries),
                static_cast<long long>(errors),
                static_cast<long long>(mismatches));
-  std::fprintf(stderr,
-               "latency ms: mean %.3f p50 %.3f p95 %.3f p99 %.3f max %.3f\n",
-               mean, p50, p95, p99, max);
+  const auto print_latency_line = [](const char* label,
+                                     const std::vector<double>& sorted) {
+    if (sorted.empty()) return;
+    double mean = 0.0;
+    for (double l : sorted) mean += l;
+    mean /= static_cast<double>(sorted.size());
+    std::fprintf(
+        stderr, "%s latency ms: mean %.3f p50 %.3f p95 %.3f p99 %.3f max %.3f\n",
+        label, mean, NearestRank(sorted, 50.0), NearestRank(sorted, 95.0),
+        NearestRank(sorted, 99.0), sorted.back());
+  };
+  print_latency_line("exact", exact_tally.latencies);
+  print_latency_line("approx", approx_tally.latencies);
   if (have_stats) {
     std::fprintf(stderr,
                  "server stats: %llu requests served, %llu protocol errors\n",
@@ -288,20 +420,27 @@ int main(int argc, char** argv) {
     json += util::StrPrintf(
         "  \"config\": {\"qps\": %.1f, \"duration_s\": %.2f, "
         "\"connections\": %d, \"seed\": %llu, \"count\": %lld, "
-        "\"verify\": %s},\n",
+        "\"mix\": %.3f, \"approx_samples\": %d, \"verify\": %s},\n",
         qps, duration, connections, static_cast<unsigned long long>(seed),
-        static_cast<long long>(total), verify ? "true" : "false");
+        static_cast<long long>(total), mix, approx_samples,
+        verify ? "true" : "false");
     json += util::StrPrintf(
-        "  \"totals\": {\"ok\": %lld, \"retry_later\": %lld, \"errors\": "
-        "%lld, \"verify_mismatches\": %lld, \"failed_connects\": %lld, "
+        "  \"totals\": {\"ok\": %lld, \"ok_exact\": %lld, \"ok_approx\": "
+        "%lld, \"retry_later\": %lld, \"errors\": %lld, "
+        "\"verify_mismatches\": %lld, \"failed_connects\": %lld, "
         "\"wall_seconds\": %.3f},\n",
-        static_cast<long long>(ok), static_cast<long long>(retries),
-        static_cast<long long>(errors), static_cast<long long>(mismatches),
+        static_cast<long long>(ok), static_cast<long long>(exact_tally.ok),
+        static_cast<long long>(approx_tally.ok),
+        static_cast<long long>(retries), static_cast<long long>(errors),
+        static_cast<long long>(mismatches),
         static_cast<long long>(failed_connects), wall_seconds);
-    json += util::StrPrintf(
-        "  \"latency_ms\": {\"mean\": %.4f, \"p50\": %.4f, \"p95\": %.4f, "
-        "\"p99\": %.4f, \"max\": %.4f},\n",
-        mean, p50, p95, p99, max);
+    // Latency is reported per query class only — a blended histogram
+    // of two different latency populations describes neither.
+    json += "  \"latency_ms\": {\"exact\": ";
+    json += LatencySummaryJson(exact_tally.latencies);
+    json += ", \"approx\": ";
+    json += LatencySummaryJson(approx_tally.latencies);
+    json += "},\n";
     if (have_stats) {
       json += util::StrPrintf(
           "  \"server\": {\"requests_served\": %llu, \"protocol_errors\": "
@@ -320,15 +459,11 @@ int main(int argc, char** argv) {
       }
       json += "}},\n";
     }
-    json += "  \"histogram_us\": [\n";
-    for (int b = 0; b < kHistogramBuckets; ++b) {
-      json += util::StrPrintf(
-          "    {\"le_us\": %llu, \"count\": %lld}%s\n",
-          static_cast<unsigned long long>(1ull << b),
-          static_cast<long long>(histogram[static_cast<size_t>(b)]),
-          b + 1 < kHistogramBuckets ? "," : "");
-    }
-    json += "  ]\n}\n";
+    json += "  \"histogram_us\": {\n    \"exact\": ";
+    json += HistogramJson(exact_tally.histogram, "    ");
+    json += ",\n    \"approx\": ";
+    json += HistogramJson(approx_tally.histogram, "    ");
+    json += "\n  }\n}\n";
     util::Status written = tools::WriteFile(json_path, json);
     if (!written.ok()) tools::Fail(written);
     std::fprintf(stderr, "histogram written to %s\n", json_path.c_str());
