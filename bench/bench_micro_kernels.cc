@@ -2,18 +2,79 @@
 // featurization, subgraph isomorphism, canonical codes, FVMine, the
 // p-value model, and the Hungarian assignment. These are the unit costs
 // the figure-level benches compose.
+//
+// Besides the timed benchmarks, the binary has a deterministic
+// counter-phase mode used by CI:
+//
+//   bench_micro_kernels --smoke                  # run phases, print totals
+//   bench_micro_kernels --counters-out=FILE      # also dump metrics JSON
+//
+// The phases exercise the hot kernels on fixed seeds and emit work
+// counters (micro/*, fv/*, graph/*, fvmine/*) that
+// scripts/check_counters.py gates against bench/baselines/
+// counters_baseline.json. Wall clock never enters the gate. Each phase
+// also cross-checks the word-parallel kernels against their scalar
+// references, so the ASan CI job doubles as a correctness smoke test.
 
 #include <benchmark/benchmark.h>
+
+#include <algorithm>
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <new>
+#include <string>
+#include <vector>
 
 #include "classify/hungarian.h"
 #include "core/graphsig.h"
 #include "data/datasets.h"
+#include "features/packed_vector_set.h"
 #include "features/rwr.h"
 #include "fsm/dfs_code.h"
 #include "fvmine/fvmine.h"
+#include "graph/csr.h"
 #include "graph/isomorphism.h"
+#include "obs/metrics.h"
 #include "stats/pvalue_model.h"
 #include "util/rng.h"
+
+namespace {
+
+// --- Global allocation interposition ----------------------------------
+// Counts every operator-new call made while a CountAllocs scope is
+// active. This is how the FVMine phase proves the arena claim: the
+// number of heap allocations during mining (micro/fvmine/mallocs) vs the
+// number of allocation requests the arena absorbed (fvmine/arena_allocs).
+std::atomic<uint64_t> g_news{0};
+std::atomic<bool> g_count_news{false};
+
+class CountAllocs {
+ public:
+  CountAllocs() {
+    g_news.store(0, std::memory_order_relaxed);
+    g_count_news.store(true, std::memory_order_relaxed);
+  }
+  ~CountAllocs() { g_count_news.store(false, std::memory_order_relaxed); }
+  uint64_t count() const { return g_news.load(std::memory_order_relaxed); }
+};
+
+}  // namespace
+
+void* operator new(std::size_t size) {
+  if (g_count_news.load(std::memory_order_relaxed)) {
+    g_news.fetch_add(1, std::memory_order_relaxed);
+  }
+  void* p = std::malloc(size == 0 ? 1 : size);
+  if (p == nullptr) throw std::bad_alloc();
+  return p;
+}
+void* operator new[](std::size_t size) { return operator new(size); }
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
 
 namespace {
 
@@ -24,6 +85,184 @@ graph::GraphDatabase SmallDb(size_t size) {
   options.size = size;
   options.seed = 42;
   return data::MakeAidsLike(options);
+}
+
+// Scalar reference dominance check that counts every slot it touches —
+// the "generic" side of the packed-vs-generic comparison.
+bool ScalarDominates(const features::FeatureVec& x,
+                     const features::FeatureVec& y, uint64_t* slot_checks) {
+  for (size_t i = 0; i < x.size(); ++i) {
+    ++*slot_checks;
+    if (x[i] > y[i]) return false;
+  }
+  return true;
+}
+
+// The dominance workload: a seeded population plus FVMine-shaped floor
+// queries (floors of random subsets checked against every row — mostly
+// deep scans, exactly the hot loop of the miner).
+struct DominanceWorkload {
+  std::vector<features::FeatureVec> population;
+  std::vector<features::FeatureVec> floors;
+};
+
+DominanceWorkload MakeDominanceWorkload() {
+  util::Rng rng(21);
+  DominanceWorkload w;
+  for (int i = 0; i < 400; ++i) {
+    features::FeatureVec v(40);
+    for (auto& x : v) {
+      x = rng.NextBernoulli(0.3)
+              ? static_cast<int16_t>(1 + rng.NextBounded(9))
+              : 0;
+    }
+    w.population.push_back(std::move(v));
+  }
+  // Floors of small subsets: mostly zero with a few surviving slots, so
+  // the dominance checks split realistically between deep full scans
+  // (row supported), mid-scan failures, and word-level early prunes.
+  for (int q = 0; q < 64; ++q) {
+    std::vector<int32_t> subset;
+    for (int k = 0; k < 3; ++k) {
+      subset.push_back(
+          static_cast<int32_t>(rng.NextBounded(w.population.size())));
+    }
+    features::FeatureVec floor;
+    features::FloorInto(w.population.data(), subset, &floor);
+    w.floors.push_back(std::move(floor));
+  }
+  return w;
+}
+
+// Phase 1: packed vs generic dominance over the same queries. The packed
+// side reports into fv/words_compared / fv/vectors_pruned_wordwise; the
+// scalar side into micro/dominance/scalar_slot_checks. Their ratio is
+// the word-parallel speedup the baseline pins.
+void RunDominancePhase() {
+  DominanceWorkload w = MakeDominanceWorkload();
+  auto packed = features::PackedVectorSet::FromVectors(w.population);
+  auto packed_floors = features::PackedVectorSet::FromVectors(w.floors);
+
+  uint64_t scalar_slot_checks = 0;
+  uint64_t matches = 0;
+  features::PackedOpStats ops;
+  for (size_t f = 0; f < w.floors.size(); ++f) {
+    for (size_t i = 0; i < w.population.size(); ++i) {
+      const bool scalar =
+          ScalarDominates(w.floors[f], w.population[i], &scalar_slot_checks);
+      const bool word = packed.Dominates(
+          packed_floors.row(static_cast<int32_t>(f)),
+          static_cast<int32_t>(i), &ops);
+      if (scalar != word) {
+        std::fprintf(stderr,
+                     "FATAL: packed dominance disagrees with scalar "
+                     "reference (floor %zu, row %zu)\n",
+                     f, i);
+        std::abort();
+      }
+      matches += word;
+    }
+  }
+  features::FlushPackedOpStats(ops);
+
+  auto& registry = obs::MetricsRegistry::Global();
+  registry.GetCounter("micro/dominance/pairs")
+      ->Add(w.floors.size() * w.population.size());
+  registry.GetCounter("micro/dominance/scalar_slot_checks")
+      ->Add(scalar_slot_checks);
+  registry.GetCounter("micro/dominance/supported")->Add(matches);
+}
+
+// Phase 2: VF2 over CSR-flattened graphs. CountEmbeddings drives the
+// CSR-backed matcher; the library flushes graph/csr_builds and
+// graph/vf2_feasibility_checks, this phase adds the workload shape.
+void RunVf2Phase() {
+  graph::GraphDatabase db = SmallDb(64);
+  graph::Graph motif = data::AztCoreMotif();
+  uint64_t embeddings = 0;
+  for (size_t i = 0; i < db.size(); ++i) {
+    // The fixed motif exercises the mostly-reject path; each graph's own
+    // leading induced subgraph guarantees hits, so both the feasibility
+    // fast-fails and the full backtracking depth get counted.
+    embeddings += graph::CountEmbeddings(motif, db.graph(i), 1000);
+    std::vector<graph::VertexId> keep;
+    for (graph::VertexId v = 0;
+         v < std::min<graph::VertexId>(4, db.graph(i).num_vertices()); ++v) {
+      keep.push_back(v);
+    }
+    graph::Graph self = db.graph(i).InducedSubgraph(keep);
+    embeddings += graph::CountEmbeddings(self, db.graph(i), 1000);
+  }
+  auto& registry = obs::MetricsRegistry::Global();
+  registry.GetCounter("micro/vf2/targets")->Add(db.size());
+  registry.GetCounter("micro/vf2/embeddings_found")->Add(embeddings);
+}
+
+// Phase 3: one FVMine group mined end to end with the global allocation
+// counter armed. micro/fvmine/mallocs is the heap traffic of the whole
+// mining call; fvmine/arena_allocs (flushed by the miner) is the number
+// of per-state allocations the arena absorbed instead of the heap.
+void RunFvMineAllocPhase() {
+  util::Rng rng(11);
+  std::vector<features::FeatureVec> population;
+  for (int i = 0; i < 200; ++i) {
+    features::FeatureVec v(20);
+    for (auto& x : v) {
+      x = rng.NextBernoulli(0.25)
+              ? static_cast<int16_t>(1 + rng.NextBounded(4))
+              : 0;
+    }
+    population.push_back(std::move(v));
+  }
+  auto packed = features::PackedVectorSet::FromVectors(population);
+  stats::FeaturePriors priors(population, 10);
+  fvmine::FvMineConfig config;
+  config.min_support = 10;
+  config.max_pvalue = 0.05;
+
+  // Warm-up run so lazily-initialized statics don't count as mining
+  // allocations; then the measured run.
+  (void)fvmine::FvMine(packed, priors, config);
+  uint64_t mallocs = 0;
+  size_t mined = 0;
+  {
+    CountAllocs scope;
+    auto result = fvmine::FvMine(packed, priors, config);
+    mallocs = scope.count();
+    mined = result.vectors.size();
+  }
+  auto& registry = obs::MetricsRegistry::Global();
+  registry.GetCounter("micro/fvmine/mallocs")->Add(mallocs);
+  registry.GetCounter("micro/fvmine/vectors")->Add(mined);
+}
+
+int RunCounterPhases(const std::string& counters_out) {
+  auto& registry = obs::MetricsRegistry::Global();
+  registry.Reset();
+  RunDominancePhase();
+  RunVf2Phase();
+  RunFvMineAllocPhase();
+
+  const auto values = registry.WorkValues();
+  for (const auto& [name, value] : values) {
+    std::printf("%-40s %llu\n", name.c_str(),
+                static_cast<unsigned long long>(value));
+  }
+  if (!counters_out.empty()) {
+    obs::DumpOptions options;
+    options.include_advisory = false;
+    std::ofstream out(counters_out);
+    if (!out) {
+      std::fprintf(stderr, "cannot open %s\n", counters_out.c_str());
+      return 1;
+    }
+    out << registry.DumpJson(options);
+    if (!out.flush()) {
+      std::fprintf(stderr, "write failed: %s\n", counters_out.c_str());
+      return 1;
+    }
+  }
+  return 0;
 }
 
 void BM_RwrPerGraph(benchmark::State& state) {
@@ -53,6 +292,57 @@ void BM_SubgraphIsomorphism(benchmark::State& state) {
 }
 BENCHMARK(BM_SubgraphIsomorphism);
 
+void BM_DominancePacked(benchmark::State& state) {
+  DominanceWorkload w = MakeDominanceWorkload();
+  auto packed = features::PackedVectorSet::FromVectors(w.population);
+  auto packed_floors = features::PackedVectorSet::FromVectors(w.floors);
+  features::PackedOpStats ops;
+  for (auto _ : state) {
+    uint64_t supported = 0;
+    for (size_t f = 0; f < w.floors.size(); ++f) {
+      for (size_t i = 0; i < w.population.size(); ++i) {
+        supported += packed.Dominates(
+            packed_floors.row(static_cast<int32_t>(f)),
+            static_cast<int32_t>(i), &ops);
+      }
+    }
+    benchmark::DoNotOptimize(supported);
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(w.floors.size() *
+                                               w.population.size()));
+}
+BENCHMARK(BM_DominancePacked);
+
+void BM_DominanceScalar(benchmark::State& state) {
+  DominanceWorkload w = MakeDominanceWorkload();
+  uint64_t slots = 0;
+  for (auto _ : state) {
+    uint64_t supported = 0;
+    for (const auto& floor : w.floors) {
+      for (const auto& row : w.population) {
+        supported += ScalarDominates(floor, row, &slots);
+      }
+    }
+    benchmark::DoNotOptimize(supported);
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(w.floors.size() *
+                                               w.population.size()));
+}
+BENCHMARK(BM_DominanceScalar);
+
+void BM_CsrBuild(benchmark::State& state) {
+  graph::GraphDatabase db = SmallDb(64);
+  size_t i = 0;
+  for (auto _ : state) {
+    graph::CsrGraph csr(db.graph(i % db.size()));
+    benchmark::DoNotOptimize(csr);
+    ++i;
+  }
+}
+BENCHMARK(BM_CsrBuild);
+
 void BM_CanonicalCode(benchmark::State& state) {
   graph::GraphDatabase db = SmallDb(64);
   size_t i = 0;
@@ -75,9 +365,7 @@ void BM_PValue(benchmark::State& state) {
     }
     population.push_back(std::move(v));
   }
-  std::vector<const features::FeatureVec*> refs;
-  for (const auto& v : population) refs.push_back(&v);
-  stats::FeaturePriors priors(refs, 10);
+  stats::FeaturePriors priors(population, 10);
   size_t i = 0;
   for (auto _ : state) {
     benchmark::DoNotOptimize(
@@ -99,14 +387,13 @@ void BM_FvMineGroup(benchmark::State& state) {
     }
     population.push_back(std::move(v));
   }
-  std::vector<const features::FeatureVec*> refs;
-  for (const auto& v : population) refs.push_back(&v);
-  stats::FeaturePriors priors(refs, 10);
+  auto packed = features::PackedVectorSet::FromVectors(population);
+  stats::FeaturePriors priors(population, 10);
   fvmine::FvMineConfig config;
   config.min_support = 10;
   config.max_pvalue = 0.05;
   for (auto _ : state) {
-    auto result = fvmine::FvMine(refs, priors, config);
+    auto result = fvmine::FvMine(packed, priors, config);
     benchmark::DoNotOptimize(result);
   }
 }
@@ -142,4 +429,29 @@ BENCHMARK(BM_GraphSigEndToEnd)->Arg(50)->Arg(100);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  bool counter_mode = false;
+  std::string counters_out;
+  std::vector<char*> bench_argv = {argv[0]};
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--smoke") {
+      counter_mode = true;
+    } else if (arg.rfind("--counters-out=", 0) == 0) {
+      counter_mode = true;
+      counters_out = arg.substr(std::string("--counters-out=").size());
+    } else {
+      bench_argv.push_back(argv[i]);
+    }
+  }
+  if (counter_mode) return RunCounterPhases(counters_out);
+
+  int bench_argc = static_cast<int>(bench_argv.size());
+  benchmark::Initialize(&bench_argc, bench_argv.data());
+  if (benchmark::ReportUnrecognizedArguments(bench_argc, bench_argv.data())) {
+    return 1;
+  }
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

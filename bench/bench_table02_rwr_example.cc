@@ -124,11 +124,11 @@ int main(int argc, char** argv) {
   table.Print(std::cout);
 
   // The floor across G1-G3 vs across G1-G4 (Definition 5).
-  features::FeatureVec floor123 =
-      features::Floor({&a_vectors[0], &a_vectors[1], &a_vectors[2]});
-  features::FeatureVec floor_all =
-      features::Floor({&a_vectors[0], &a_vectors[1], &a_vectors[2],
-                       &a_vectors[3]});
+  const std::vector<int32_t> first_three = {0, 1, 2};
+  const std::vector<int32_t> all_four = {0, 1, 2, 3};
+  features::FeatureVec floor123, floor_all;
+  features::FloorInto(a_vectors.data(), first_three, &floor123);
+  features::FloorInto(a_vectors.data(), all_four, &floor_all);
   auto nonzero = [](const features::FeatureVec& v) {
     int count = 0;
     for (int16_t x : v) count += (x > 0);

@@ -47,6 +47,11 @@ trap cleanup EXIT
   --k=5 --edges=3 --samples=400 --support-samples=64 --seed=11 \
   --threads=2 --metrics-out="$WORK/sample_metrics.json" >/dev/null
 
+# Per-kernel counter phases (packed dominance, CSR-backed VF2, FVMine
+# arena): fixed seeds, work counters only — wall clock never recorded.
+"$BUILD/bench/bench_micro_kernels" \
+  --counters-out="$WORK/micro_metrics.json" >/dev/null
+
 # --- Phase 2: serve the indexed model, replay a seeded query load -----
 "$BUILD/tools/graphsig_index" --input="$WORK/screen.smi" \
   --output="$WORK/model.gsig" --radius=4 --threads=2 >/dev/null
@@ -86,7 +91,8 @@ SERVE_PID=
 if [ -n "${BENCH_ARTIFACT_DIR:-}" ]; then
   mkdir -p "$BENCH_ARTIFACT_DIR"
   cp "$WORK/mine_metrics.json" "$WORK/sample_metrics.json" \
-     "$WORK/serve_metrics.json" "$WORK/loadgen.json" "$BENCH_ARTIFACT_DIR/"
+     "$WORK/serve_metrics.json" "$WORK/micro_metrics.json" \
+     "$WORK/loadgen.json" "$BENCH_ARTIFACT_DIR/"
 fi
 
 # --- Phase 3: gate on the deterministic counters ----------------------
@@ -94,10 +100,10 @@ if [ "$MODE" = "--refresh" ]; then
   python3 "$REPO/scripts/check_counters.py" --refresh \
     --baseline="$BASELINE" \
     mine="$WORK/mine_metrics.json" sample="$WORK/sample_metrics.json" \
-    serve="$WORK/serve_metrics.json"
+    serve="$WORK/serve_metrics.json" micro="$WORK/micro_metrics.json"
 else
   python3 "$REPO/scripts/check_counters.py" \
     --baseline="$BASELINE" \
     mine="$WORK/mine_metrics.json" sample="$WORK/sample_metrics.json" \
-    serve="$WORK/serve_metrics.json"
+    serve="$WORK/serve_metrics.json" micro="$WORK/micro_metrics.json"
 fi

@@ -42,6 +42,13 @@ Rules (each can be waived on one line with a `lint:allow=<rule>` comment):
                 the "all wall time is advisory" fence the determinism
                 contract relies on (DESIGN.md §12).
 
+  fv-pointer-vector  std::vector<const FeatureVec*> anywhere outside
+                src/features/feature_vector.h. The pointer-vector view of
+                a feature population is retired: it scattered the hot
+                dominance loops over the heap. Use
+                features::PackedVectorSet (word-parallel kernels) or
+                index spans over a contiguous std::vector<FeatureVec>.
+
   raw-std-random  <random> engines/distributions (std::mt19937,
                 std::random_device, std::*_distribution, ...) anywhere
                 outside src/util/. All randomness flows through
@@ -119,6 +126,16 @@ RULES = [
         and rel.parts[:2] not in (("src", "obs"), ("src", "util")),
         "register counters in obs::MetricsRegistry (src/obs/metrics.h) "
         "instead of ad-hoc atomics; sync primitives go in src/util/",
+    ),
+    (
+        "fv-pointer-vector",
+        re.compile(
+            r"std::vector<\s*const\s+(features::)?FeatureVec\s*\*\s*>"
+        ),
+        lambda rel: rel != Path("src/features/feature_vector.h"),
+        "pointer-vector feature populations are retired; use "
+        "features::PackedVectorSet (src/features/packed_vector_set.h) or "
+        "index spans over a contiguous std::vector<FeatureVec>",
     ),
     (
         "raw-std-random",

@@ -6,6 +6,7 @@
 #include <string>
 #include <unordered_map>
 
+#include "features/packed_vector_set.h"
 #include "fsm/dfs_code.h"
 #include "fsm/maximal.h"
 #include "fsm/miner.h"
@@ -20,7 +21,6 @@
 namespace graphsig::core {
 namespace {
 
-using features::FeatureVec;
 using features::NodeVector;
 using graph::GraphDatabase;
 using graph::Label;
@@ -85,10 +85,11 @@ FeaturePhaseOutput RunFeaturePhase(const GraphSigConfig& config,
         static_cast<int64_t>(std::ceil(config.min_freq_percent / 100.0 *
                                        member_indices.size())));
     if (static_cast<int64_t>(member_indices.size()) < min_support) return;
-    std::vector<const FeatureVec*> population;
-    population.reserve(member_indices.size());
+    features::PackedVectorSet population(
+        out.node_vectors[member_indices[0]].values.size());
+    population.Reserve(member_indices.size());
     for (int32_t idx : member_indices) {
-      population.push_back(&out.node_vectors[idx].values);
+      population.Add(out.node_vectors[idx].values);
     }
     stats::FeaturePriors priors(population, config.rwr.bins);
     fvmine::FvMineConfig fv_config;

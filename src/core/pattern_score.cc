@@ -2,6 +2,7 @@
 
 #include <map>
 
+#include "features/packed_vector_set.h"
 #include "features/rwr.h"
 #include "graph/isomorphism.h"
 #include "stats/pvalue_model.h"
@@ -47,32 +48,38 @@ PatternScore ScorePattern(const graph::GraphDatabase& db,
       db, config.top_k_atoms);
   auto vectors =
       features::DatabaseToVectors(db, space, config.rwr, config.num_threads);
-  std::vector<const features::FeatureVec*> group;
-  std::map<std::pair<int32_t, graph::VertexId>, const features::FeatureVec*>
-      by_node;
+  features::PackedVectorSet group(space.size());
+  std::map<std::pair<int32_t, graph::VertexId>, int32_t> by_node;
   for (const features::NodeVector& nv : vectors) {
     if (nv.node_label != anchor_label) continue;
-    group.push_back(&nv.values);
-    by_node[{nv.graph_index, nv.node}] = &nv.values;
+    by_node[{nv.graph_index, nv.node}] = group.Add(nv.values);
   }
   GS_CHECK(!group.empty());
 
   // Floor of the occurrence vectors = the pattern's feature-space
   // description; its support is the number of dominating group vectors.
-  std::vector<const features::FeatureVec*> occurrence_vectors;
+  std::vector<int32_t> occurrence_rows;
+  occurrence_rows.reserve(anchors.size());
   for (const auto& key : anchors) {
     auto it = by_node.find(key);
     GS_CHECK(it != by_node.end());
-    occurrence_vectors.push_back(it->second);
+    occurrence_rows.push_back(it->second);
   }
-  features::FeatureVec floor = features::Floor(occurrence_vectors);
+  features::PackedOpStats ops;
+  std::vector<uint64_t> floor(group.words_per_vector());
+  group.FloorInto(occurrence_rows, floor.data(), &ops);
   int64_t support = 0;
-  for (const features::FeatureVec* v : group) {
-    if (features::IsSubVector(floor, *v)) ++support;
+  for (size_t i = 0; i < group.size(); ++i) {
+    if (group.Dominates(floor.data(), static_cast<int32_t>(i), &ops)) {
+      ++support;
+    }
   }
+  features::FlushPackedOpStats(ops);
   stats::FeaturePriors priors(group, config.rwr.bins);
   score.vector_support = support;
-  score.p_value = priors.PValue(floor, support);
+  score.p_value =
+      priors.PValue(features::PackedSlice{floor.data(), group.width()},
+                    support);
   return score;
 }
 

@@ -14,38 +14,12 @@ bool IsSubVector(const FeatureVec& x, const FeatureVec& y) {
   return true;
 }
 
-FeatureVec Floor(const std::vector<const FeatureVec*>& vectors) {
-  GS_CHECK(!vectors.empty());
-  FeatureVec out = *vectors[0];
-  for (size_t k = 1; k < vectors.size(); ++k) {
-    const FeatureVec& v = *vectors[k];
-    GS_CHECK_EQ(v.size(), out.size());
-    for (size_t i = 0; i < out.size(); ++i) {
-      out[i] = std::min(out[i], v[i]);
-    }
-  }
-  return out;
-}
-
-FeatureVec Ceiling(const std::vector<const FeatureVec*>& vectors) {
-  GS_CHECK(!vectors.empty());
-  FeatureVec out = *vectors[0];
-  for (size_t k = 1; k < vectors.size(); ++k) {
-    const FeatureVec& v = *vectors[k];
-    GS_CHECK_EQ(v.size(), out.size());
-    for (size_t i = 0; i < out.size(); ++i) {
-      out[i] = std::max(out[i], v[i]);
-    }
-  }
-  return out;
-}
-
-void FloorInto(const std::vector<const FeatureVec*>& population,
-               const std::vector<int32_t>& indices, FeatureVec* out) {
+void FloorInto(const FeatureVec* base, std::span<const int32_t> indices,
+               FeatureVec* out) {
   GS_CHECK(!indices.empty());
-  *out = *population[indices[0]];
+  *out = base[indices[0]];
   for (size_t k = 1; k < indices.size(); ++k) {
-    const FeatureVec& v = *population[indices[k]];
+    const FeatureVec& v = base[indices[k]];
     GS_CHECK_EQ(v.size(), out->size());
     for (size_t i = 0; i < out->size(); ++i) {
       (*out)[i] = std::min((*out)[i], v[i]);
@@ -53,12 +27,12 @@ void FloorInto(const std::vector<const FeatureVec*>& population,
   }
 }
 
-void CeilingInto(const std::vector<const FeatureVec*>& population,
-                 const std::vector<int32_t>& indices, FeatureVec* out) {
+void CeilingInto(const FeatureVec* base, std::span<const int32_t> indices,
+                 FeatureVec* out) {
   GS_CHECK(!indices.empty());
-  *out = *population[indices[0]];
+  *out = base[indices[0]];
   for (size_t k = 1; k < indices.size(); ++k) {
-    const FeatureVec& v = *population[indices[k]];
+    const FeatureVec& v = base[indices[k]];
     GS_CHECK_EQ(v.size(), out->size());
     for (size_t i = 0; i < out->size(); ++i) {
       (*out)[i] = std::max((*out)[i], v[i]);

@@ -2,6 +2,7 @@
 #define GRAPHSIG_FEATURES_FEATURE_VECTOR_H_
 
 #include <cstdint>
+#include <span>
 #include <vector>
 
 #include "graph/graph.h"
@@ -24,19 +25,16 @@ struct NodeVector {
 // True iff x <= y slot-wise (Definition 3: x is a sub-feature vector).
 bool IsSubVector(const FeatureVec& x, const FeatureVec& y);
 
-// Slot-wise min / max over a non-empty set (Definition 5).
-FeatureVec Floor(const std::vector<const FeatureVec*>& vectors);
-FeatureVec Ceiling(const std::vector<const FeatureVec*>& vectors);
-
-// Index-set overloads: slot-wise min / max over population[indices]
-// (non-empty), written into *out, which is resized to the vector width
-// and may be reused across calls. These exist for FVMine's inner loop,
-// which would otherwise build a temporary pointer vector per Search
-// call just to adapt to the set-of-pointers API above.
-void FloorInto(const std::vector<const FeatureVec*>& population,
-               const std::vector<int32_t>& indices, FeatureVec* out);
-void CeilingInto(const std::vector<const FeatureVec*>& population,
-                 const std::vector<int32_t>& indices, FeatureVec* out);
+// Slot-wise min / max over base[indices] (non-empty), where `base` is a
+// contiguous population array (Definition 5). The result is written into
+// *out, which is resized to the vector width and may be reused across
+// calls. These are the scalar reference kernels; the word-parallel
+// production forms live on features::PackedVectorSet (packed_vector_set.h)
+// and must agree with these exactly.
+void FloorInto(const FeatureVec* base, std::span<const int32_t> indices,
+               FeatureVec* out);
+void CeilingInto(const FeatureVec* base, std::span<const int32_t> indices,
+                 FeatureVec* out);
 
 }  // namespace graphsig::features
 

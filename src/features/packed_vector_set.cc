@@ -1,0 +1,95 @@
+#include "features/packed_vector_set.h"
+
+#include "obs/metrics.h"
+#include "util/check.h"
+
+namespace graphsig::features {
+
+void FlushPackedOpStats(const PackedOpStats& stats) {
+  struct Metrics {
+    obs::Counter* words_compared;
+    obs::Counter* pruned_wordwise;
+  };
+  auto& registry = obs::MetricsRegistry::Global();
+  static const Metrics m = {
+      registry.GetCounter("fv/words_compared"),
+      registry.GetCounter("fv/vectors_pruned_wordwise")};
+  m.words_compared->Add(stats.words_compared);
+  m.pruned_wordwise->Add(stats.vectors_pruned_wordwise);
+}
+
+FeatureVec UnpackWords(const uint64_t* words, size_t width) {
+  FeatureVec out(width);
+  for (size_t i = 0; i < width; ++i) {
+    out[i] = static_cast<int16_t>(
+        (words[i / kPackedSlotsPerWord] >> ((i % kPackedSlotsPerWord) * 4)) &
+        0xF);
+  }
+  return out;
+}
+
+PackedVectorSet PackedVectorSet::FromVectors(
+    const std::vector<FeatureVec>& vectors) {
+  GS_CHECK(!vectors.empty());
+  PackedVectorSet set(vectors[0].size());
+  set.Reserve(vectors.size());
+  for (const FeatureVec& v : vectors) set.Add(v);
+  return set;
+}
+
+int32_t PackedVectorSet::Add(const FeatureVec& v) {
+  GS_CHECK_EQ(v.size(), width_);
+  const int32_t index = static_cast<int32_t>(size());
+  words_.resize(words_.size() + words_per_vector_, 0);
+  uint64_t* row = words_.data() + static_cast<size_t>(index) * words_per_vector_;
+  for (size_t i = 0; i < width_; ++i) {
+    GS_CHECK_GE(v[i], 0);
+    GS_CHECK_LE(v[i], kPackedMaxSlotValue);
+    row[i / kPackedSlotsPerWord] |= static_cast<uint64_t>(v[i])
+                                    << ((i % kPackedSlotsPerWord) * 4);
+  }
+  return index;
+}
+
+bool PackedVectorSet::Dominates(const uint64_t* x, int32_t y,
+                                PackedOpStats* stats) const {
+  const uint64_t* r = row(y);
+  for (size_t w = 0; w < words_per_vector_; ++w) {
+    ++stats->words_compared;
+    if (PackedGtMask(x[w], r[w]) != 0) {
+      if (w + 1 < words_per_vector_) ++stats->vectors_pruned_wordwise;
+      return false;
+    }
+  }
+  return true;
+}
+
+void PackedVectorSet::FloorInto(std::span<const int32_t> indices,
+                                uint64_t* out, PackedOpStats* stats) const {
+  GS_CHECK(!indices.empty());
+  const uint64_t* first = row(indices[0]);
+  for (size_t w = 0; w < words_per_vector_; ++w) out[w] = first[w];
+  for (size_t k = 1; k < indices.size(); ++k) {
+    const uint64_t* r = row(indices[k]);
+    for (size_t w = 0; w < words_per_vector_; ++w) {
+      out[w] = PackedMin(out[w], r[w]);
+    }
+  }
+  stats->words_compared += (indices.size() - 1) * words_per_vector_;
+}
+
+void PackedVectorSet::CeilingInto(std::span<const int32_t> indices,
+                                  uint64_t* out, PackedOpStats* stats) const {
+  GS_CHECK(!indices.empty());
+  const uint64_t* first = row(indices[0]);
+  for (size_t w = 0; w < words_per_vector_; ++w) out[w] = first[w];
+  for (size_t k = 1; k < indices.size(); ++k) {
+    const uint64_t* r = row(indices[k]);
+    for (size_t w = 0; w < words_per_vector_; ++w) {
+      out[w] = PackedMax(out[w], r[w]);
+    }
+  }
+  stats->words_compared += (indices.size() - 1) * words_per_vector_;
+}
+
+}  // namespace graphsig::features

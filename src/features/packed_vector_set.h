@@ -1,0 +1,145 @@
+#ifndef GRAPHSIG_FEATURES_PACKED_VECTOR_SET_H_
+#define GRAPHSIG_FEATURES_PACKED_VECTOR_SET_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "features/feature_vector.h"
+
+namespace graphsig::features {
+
+// --- 4-bit SWAR lane primitives (DESIGN.md §14) ------------------------
+//
+// Feature slots hold values in [0, bins] with bins = 10, so each fits in
+// an unsigned 4-bit lane; 16 lanes pack into one uint64_t word. The
+// kernels below compare / min / max all 16 lanes of a word at once with
+// no spare carry bit (values may use bit 3), via the classic
+// borrow-propagation trick:
+//
+//   t = (y | H) - (x & ~H)   gives per-lane 8 + y_low - x_low  (in [1,15],
+//                            so no borrow ever crosses a lane boundary)
+//   bit 3 of t is set  <=>  y_low >= x_low
+//   x_lane > y_lane    <=>  (xh & ~yh) | (xh == yh  &  x_low > y_low)
+//
+// which assembles into the single mask below with the lane-high bit set
+// exactly where x's lane exceeds y's.
+
+inline constexpr uint64_t kPackedLaneHigh = 0x8888888888888888ull;
+inline constexpr size_t kPackedSlotsPerWord = 16;
+inline constexpr int16_t kPackedMaxSlotValue = 15;
+
+// Lane-high bit set in every lane where x's 4-bit lane > y's.
+inline uint64_t PackedGtMask(uint64_t x, uint64_t y) {
+  const uint64_t t = (y | kPackedLaneHigh) - (x & ~kPackedLaneHigh);
+  return ((x & ~y) | (~(x ^ y) & ~t)) & kPackedLaneHigh;
+}
+
+// Spread each lane-high bit to the full nibble: 0x8 -> 0xF per lane.
+inline uint64_t PackedLaneFill(uint64_t high_bits) {
+  return (high_bits >> 3) * 0xFull;
+}
+
+// Lane-wise min / max of two packed words.
+inline uint64_t PackedMin(uint64_t x, uint64_t y) {
+  const uint64_t take_y = PackedLaneFill(PackedGtMask(x, y));
+  return (x & ~take_y) | (y & take_y);
+}
+inline uint64_t PackedMax(uint64_t x, uint64_t y) {
+  const uint64_t take_x = PackedLaneFill(PackedGtMask(x, y));
+  return (y & ~take_x) | (x & take_x);
+}
+
+// Mask covering the low `slots` lanes of a word (slots in [0, 16]).
+inline uint64_t PackedLowSlotsMask(size_t slots) {
+  return slots >= kPackedSlotsPerWord ? ~0ull
+                                      : (1ull << (4 * slots)) - 1;
+}
+
+// Deterministic work tallies for the packed kernels. Callers accumulate
+// into a local instance inside the hot loop and flush once per task via
+// FlushPackedOpStats (DESIGN.md §12).
+struct PackedOpStats {
+  uint64_t words_compared = 0;          // SWAR word ops in compare/min/max
+  uint64_t vectors_pruned_wordwise = 0; // dominance rejects before last word
+};
+
+// Adds `stats` to the fv/words_compared and fv/vectors_pruned_wordwise
+// work counters.
+void FlushPackedOpStats(const PackedOpStats& stats);
+
+// Non-owning view of one packed vector (`width` slots starting at word 0).
+struct PackedSlice {
+  const uint64_t* words = nullptr;
+  size_t width = 0;
+
+  int16_t slot(size_t i) const {
+    return static_cast<int16_t>(
+        (words[i / kPackedSlotsPerWord] >> ((i % kPackedSlotsPerWord) * 4)) &
+        0xF);
+  }
+};
+
+// Unpack `width` slots of a packed row into a FeatureVec.
+FeatureVec UnpackWords(const uint64_t* words, size_t width);
+
+// Columnar store for one label-group's feature-vector population: row i
+// is vector i, packed 16 slots per uint64_t word. Slots beyond `width`
+// in the last word are always zero. This is the canonical population
+// container for FVMine and pattern scoring; the old
+// std::vector<const FeatureVec*> idiom is banned by lint.
+class PackedVectorSet {
+ public:
+  PackedVectorSet() = default;
+  explicit PackedVectorSet(size_t width)
+      : width_(width),
+        words_per_vector_(
+            (width + kPackedSlotsPerWord - 1) / kPackedSlotsPerWord) {}
+
+  // Packs a contiguous population; all vectors must share one width.
+  static PackedVectorSet FromVectors(const std::vector<FeatureVec>& vectors);
+
+  void Reserve(size_t count) { words_.reserve(count * words_per_vector_); }
+
+  // Appends a vector (values must fit 4 bits); returns its row index.
+  int32_t Add(const FeatureVec& v);
+
+  size_t size() const {
+    return words_per_vector_ == 0 ? 0 : words_.size() / words_per_vector_;
+  }
+  bool empty() const { return words_.empty(); }
+  size_t width() const { return width_; }
+  size_t words_per_vector() const { return words_per_vector_; }
+
+  const uint64_t* row(int32_t i) const {
+    return words_.data() + static_cast<size_t>(i) * words_per_vector_;
+  }
+  PackedSlice slice(int32_t i) const { return {row(i), width_}; }
+
+  // Slot `s` of vector `i`.
+  int16_t at(int32_t i, size_t s) const { return slice(i).slot(s); }
+
+  FeatureVec Unpack(int32_t i) const { return UnpackWords(row(i), width_); }
+
+  // True iff x <= row(y) slot-wise, where x points at words_per_vector()
+  // packed words (Definition 3, word-parallel). Early-exits on the first
+  // word with any violating lane.
+  bool Dominates(const uint64_t* x, int32_t y, PackedOpStats* stats) const;
+
+  // Slot-wise min / max over rows[indices] (non-empty), written into
+  // `out` (words_per_vector() words).
+  void FloorInto(std::span<const int32_t> indices, uint64_t* out,
+                 PackedOpStats* stats) const;
+  void CeilingInto(std::span<const int32_t> indices, uint64_t* out,
+                   PackedOpStats* stats) const;
+
+ private:
+  size_t width_ = 0;
+  size_t words_per_vector_ = 0;
+  std::vector<uint64_t> words_;
+};
+
+}  // namespace graphsig::features
+
+#endif  // GRAPHSIG_FEATURES_PACKED_VECTOR_SET_H_

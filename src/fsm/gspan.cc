@@ -1,13 +1,14 @@
 #include <algorithm>
 #include <cmath>
-#include <deque>
 #include <map>
 #include <tuple>
 
 #include "fsm/dfs_code.h"
 #include "fsm/miner.h"
+#include "graph/csr.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
+#include "util/arena.h"
 #include "util/check.h"
 #include "util/timer.h"
 
@@ -23,13 +24,16 @@ int64_t SupportFromPercent(double percent, size_t db_size) {
 namespace {
 
 using graph::AdjEntry;
-using graph::Graph;
+using graph::CsrGraph;
 using graph::GraphDatabase;
 using graph::Label;
 using graph::VertexId;
 
-// One edge of an embedding chain. `prev` points into the miner's stable
-// pool; walking prev links reconstructs the full embedding of the code.
+// One edge of an embedding chain. `edge` points into the per-graph CSR
+// half-edge array; `prev` points into the miner's arena. Walking prev
+// links reconstructs the full embedding of the code. Trivially
+// destructible by design: chains live in the task's Arena and are freed
+// by rewinding, never destroyed.
 struct Emb {
   int32_t gid;
   VertexId from;        // graph vertex the instance starts at
@@ -46,7 +50,7 @@ struct History {
   std::vector<bool> vertex_used;
   std::vector<VertexId> dfs_to_g;
 
-  History(const Graph& g, const DfsCode& code, const Emb* emb) {
+  History(const CsrGraph& g, const DfsCode& code, const Emb* emb) {
     edge_used.assign(g.num_edges(), false);
     vertex_used.assign(g.num_vertices(), false);
     std::vector<const Emb*> chain;
@@ -82,19 +86,26 @@ class GSpanMiner {
       ReportSingleVertices();
     }
 
+    // Flatten every database graph to CSR once; all extension loops and
+    // embedding chains reference these half-edge arrays.
+    csrs_.reserve(db_.size());
+    for (size_t gid = 0; gid < db_.size(); ++gid) {
+      csrs_.emplace_back(db_.graph(gid));
+    }
+
     // Frequent 1-edge seeds, grouped by (from_label, elabel, to_label)
     // with from_label <= to_label; both orientations are kept as
-    // embeddings when the endpoint labels are equal.
+    // embeddings when the endpoint labels are equal. Root embeddings are
+    // allocated before any Project frame marks the arena, so they outlive
+    // every rewind.
     std::map<std::tuple<Label, Label, Label>, Projected> roots;
-    for (size_t gid = 0; gid < db_.size(); ++gid) {
-      const Graph& g = db_.graph(gid);
+    for (size_t gid = 0; gid < csrs_.size(); ++gid) {
+      const CsrGraph& g = csrs_[gid];
       for (VertexId v = 0; v < g.num_vertices(); ++v) {
         for (const AdjEntry& adj : g.neighbors(v)) {
           if (g.vertex_label(v) > g.vertex_label(adj.to)) continue;
-          pool_.push_back(
-              {static_cast<int32_t>(gid), v, &adj, nullptr});
           roots[{g.vertex_label(v), adj.label, g.vertex_label(adj.to)}]
-              .push_back(&pool_.back());
+              .push_back(NewEmb(static_cast<int32_t>(gid), v, &adj, nullptr));
         }
       }
     }
@@ -110,6 +121,7 @@ class GSpanMiner {
 
     result_.seconds = timer.ElapsedSeconds();
     result_.completed = !stopped_;
+    result_.embedding_arena_bytes = arena_.bytes_requested();
     return std::move(result_);
   }
 
@@ -117,7 +129,7 @@ class GSpanMiner {
   void ReportSingleVertices() {
     std::map<Label, std::vector<int32_t>> by_label;
     for (size_t gid = 0; gid < db_.size(); ++gid) {
-      const Graph& g = db_.graph(gid);
+      const graph::Graph& g = db_.graph(gid);
       std::map<Label, bool> seen;
       for (Label l : g.vertex_labels()) {
         if (!seen[l]) {
@@ -135,6 +147,13 @@ class GSpanMiner {
       Emit(std::move(p));
       if (stopped_) return;
     }
+  }
+
+  const Emb* NewEmb(int32_t gid, VertexId from, const AdjEntry* edge,
+                    const Emb* prev) {
+    Emb* e = arena_.AllocateArray<Emb>(1);
+    *e = {gid, from, edge, prev};
+    return e;
   }
 
   static std::vector<int32_t> DistinctGids(const Projected& projected) {
@@ -178,13 +197,14 @@ class GSpanMiner {
     const Label rm_vertex_label = code[rmpath[0]].to_label;
     const Label min_label = code[0].from_label;
 
-    // Child embeddings live in this frame's pool and are freed when all
-    // child branches have been explored (chains only point parent-ward).
-    std::deque<Emb> local_pool;
+    // Child embeddings live in this frame's arena region and are freed by
+    // rewinding once all child branches have been explored (chains only
+    // point parent-ward, so a rewind never strands a live chain).
+    const util::Arena::Mark frame_mark = arena_.Position();
     std::map<DfsEdge, Projected, DfsEdgeCmp> extensions;
 
     for (const Emb* emb : projected) {
-      const Graph& g = db_.graph(emb->gid);
+      const CsrGraph& g = csrs_[emb->gid];
       History h(g, code, emb);
       const VertexId rm_g = h.dfs_to_g[maxtoc];
 
@@ -201,8 +221,7 @@ class GSpanMiner {
                e1.to_label <= rm_vertex_label)) {
             DfsEdge key{maxtoc, e1.from, rm_vertex_label, adj.label,
                         e1.from_label};
-            local_pool.push_back({emb->gid, rm_g, &adj, emb});
-            extensions[key].push_back(&local_pool.back());
+            extensions[key].push_back(NewEmb(emb->gid, rm_g, &adj, emb));
           }
         }
       }
@@ -214,8 +233,7 @@ class GSpanMiner {
         if (tolabel < min_label) continue;
         DfsEdge key{maxtoc, maxtoc + 1, rm_vertex_label, adj.label,
                     tolabel};
-        local_pool.push_back({emb->gid, rm_g, &adj, emb});
-        extensions[key].push_back(&local_pool.back());
+        extensions[key].push_back(NewEmb(emb->gid, rm_g, &adj, emb));
       }
 
       // Forward branching off the rightmost path.
@@ -230,25 +248,26 @@ class GSpanMiner {
               (e1.edge_label == adj.label && e1.to_label <= tolabel)) {
             DfsEdge key{e1.from, maxtoc + 1, e1.from_label, adj.label,
                         tolabel};
-            local_pool.push_back({emb->gid, from_g, &adj, emb});
-            extensions[key].push_back(&local_pool.back());
+            extensions[key].push_back(NewEmb(emb->gid, from_g, &adj, emb));
           }
         }
       }
     }
 
     for (const auto& [edge, child_projected] : extensions) {
-      if (stopped_) return;
+      if (stopped_) break;
       code.Push(edge);
       Project(code, child_projected);
       code.Pop();
     }
+    arena_.Rewind(frame_mark);
   }
 
   const GraphDatabase& db_;
   const MinerConfig config_;
   MineResult result_;
-  std::deque<Emb> pool_;  // stable storage for embedding chains
+  std::vector<CsrGraph> csrs_;  // one flat adjacency per database graph
+  util::Arena arena_;           // embedding-chain storage (task-scoped)
   util::WallTimer budget_timer_;
   bool stopped_ = false;
 };
@@ -268,8 +287,11 @@ MineResult MineFrequentGSpan(const GraphDatabase& db,
       registry.GetCounter("gspan/candidates");
   static obs::Counter* const patterns =
       registry.GetCounter("gspan/patterns");
+  static obs::Counter* const arena_bytes =
+      registry.GetCounter("gspan/embeddings_arena_bytes");
   candidates->Add(result.states_expanded);
   patterns->Add(result.patterns.size());
+  arena_bytes->Add(result.embedding_arena_bytes);
   span.AddWork(result.states_expanded);
   return result;
 }

@@ -1,7 +1,10 @@
 #include "fvmine/fvmine.h"
 
+#include <span>
+
 #include "obs/metrics.h"
 #include "obs/trace.h"
+#include "util/arena.h"
 #include "util/check.h"
 #include "util/timer.h"
 
@@ -9,6 +12,8 @@ namespace graphsig::fvmine {
 namespace {
 
 using features::FeatureVec;
+using features::PackedSlice;
+using features::PackedVectorSet;
 
 // Deterministic work counters for the closed-vector search (DESIGN.md
 // §12). The recursion accumulates into Searcher locals and flushes once
@@ -19,6 +24,8 @@ struct FvMineMetrics {
   obs::Counter* ceiling_prunes;   // subtrees cut by the optimistic bound
   obs::Counter* duplicate_prunes; // states reachable from earlier branches
   obs::Counter* significant;      // vectors emitted
+  obs::Counter* arena_bytes;      // recursion scratch served by the arena
+  obs::Counter* arena_allocs;     // arena requests (vs heap mallocs: ~0)
 
   static const FvMineMetrics& Get() {
     auto& registry = obs::MetricsRegistry::Global();
@@ -27,30 +34,35 @@ struct FvMineMetrics {
         registry.GetCounter("fvmine/support_checks"),
         registry.GetCounter("fvmine/ceiling_prunes"),
         registry.GetCounter("fvmine/duplicate_prunes"),
-        registry.GetCounter("fvmine/significant_vectors")};
+        registry.GetCounter("fvmine/significant_vectors"),
+        registry.GetCounter("fvmine/arena_bytes"),
+        registry.GetCounter("fvmine/arena_allocs")};
     return m;
   }
 };
 
 class Searcher {
  public:
-  Searcher(const std::vector<const FeatureVec*>& population,
+  Searcher(const PackedVectorSet& population,
            const stats::FeaturePriors& priors, const FvMineConfig& config)
       : population_(population), priors_(priors), config_(config) {
     GS_CHECK(!population.empty());
     GS_CHECK_EQ(priors.population_size(),
                 static_cast<int64_t>(population.size()));
-    width_ = population[0]->size();
+    width_ = population.width();
+    words_ = population.words_per_vector();
+    ceiling_buffer_.resize(words_);
   }
 
   FvMineResult Run() {
     GS_TRACE_SPAN_NAMED(span, "mine/fvmine");
-    std::vector<int32_t> all(population_.size());
-    for (size_t i = 0; i < all.size(); ++i) all[i] = static_cast<int32_t>(i);
-    FeatureVec x;
-    features::FloorInto(population_, all, &x);
-    if (static_cast<int64_t>(all.size()) >= config_.min_support) {
-      Search(x, all, 0);
+    const size_t n = population_.size();
+    int32_t* all = arena_.AllocateArray<int32_t>(n);
+    for (size_t i = 0; i < n; ++i) all[i] = static_cast<int32_t>(i);
+    uint64_t* x = arena_.AllocateArray<uint64_t>(words_);
+    population_.FloorInto({all, n}, x, &ops_);
+    if (static_cast<int64_t>(n) >= config_.min_support) {
+      Search(x, {all, n}, 0);
     }
     result_.completed = !stopped_;
     span.AddWork(static_cast<uint64_t>(result_.states_explored));
@@ -60,19 +72,25 @@ class Searcher {
     m.ceiling_prunes->Add(ceiling_prunes_);
     m.duplicate_prunes->Add(duplicate_prunes_);
     m.significant->Add(result_.vectors.size());
+    m.arena_bytes->Add(arena_.bytes_requested());
+    m.arena_allocs->Add(arena_.allocations());
+    features::FlushPackedOpStats(ops_);
     return std::move(result_);
   }
 
  private:
-  double Evaluate(const FeatureVec& x, int64_t support) const {
+  double Evaluate(const uint64_t* x, int64_t support) const {
+    const PackedSlice slice{x, width_};
     return config_.use_normal_approximation
-               ? priors_.PValueAuto(x, support)
-               : priors_.PValue(x, support);
+               ? priors_.PValueAuto(slice, support)
+               : priors_.PValue(slice, support);
   }
 
-  // Algorithm 1: x is the current closed vector (floor of S), S its
-  // supporting set, b the first feature position allowed to grow.
-  void Search(const FeatureVec& x, const std::vector<int32_t>& s, size_t b) {
+  // Algorithm 1: x is the current closed vector (floor of S, packed), S
+  // its supporting set, b the first feature position allowed to grow.
+  // All per-frame scratch (S', x') lives in the arena and is rewound
+  // when the frame's subtree is done.
+  void Search(const uint64_t* x, std::span<const int32_t> s, size_t b) {
     if (stopped_) return;
     ++result_.states_explored;
     if ((result_.states_explored & 0xff) == 0 &&
@@ -84,8 +102,8 @@ class Searcher {
     const double p_value = Evaluate(x, static_cast<int64_t>(s.size()));
     if (p_value <= config_.max_pvalue) {
       SignificantVector sv;
-      sv.vector = x;
-      sv.supporting = s;
+      sv.vector = features::UnpackWords(x, width_);
+      sv.supporting.assign(s.begin(), s.end());
       sv.support = static_cast<int64_t>(s.size());
       sv.p_value = p_value;
       result_.vectors.push_back(std::move(sv));
@@ -98,64 +116,86 @@ class Searcher {
     for (size_t i = b; i < width_; ++i) {
       // S' = vectors of S strictly above x on feature i.
       ++support_checks_;
-      std::vector<int32_t> s_prime;
+      const util::Arena::Mark mark = arena_.Position();
+      int32_t* s_prime = arena_.AllocateArray<int32_t>(s.size());
+      size_t s_prime_size = 0;
+      const int16_t x_i = PackedSlice{x, width_}.slot(i);
       for (int32_t idx : s) {
-        if ((*population_[idx])[i] > x[i]) s_prime.push_back(idx);
+        if (population_.at(idx, i) > x_i) s_prime[s_prime_size++] = idx;
       }
-      if (static_cast<int64_t>(s_prime.size()) < config_.min_support) {
+      if (static_cast<int64_t>(s_prime_size) < config_.min_support) {
+        arena_.Rewind(mark);
         continue;
       }
-      FeatureVec x_prime;
-      features::FloorInto(population_, s_prime, &x_prime);
+      uint64_t* x_prime = arena_.AllocateArray<uint64_t>(words_);
+      population_.FloorInto({s_prime, s_prime_size}, x_prime, &ops_);
       // Duplicate state: if the floor also rose on a feature before i,
-      // this state is reachable from an earlier branch.
+      // this state is reachable from an earlier branch. Since S' ⊆ S,
+      // x' >= x lane-wise, so "rose" is just "differs" — one XOR per
+      // word covers 16 slots.
       bool duplicate = false;
-      for (size_t j = 0; j < i; ++j) {
-        if (x_prime[j] > x[j]) {
+      const size_t full_words = i / features::kPackedSlotsPerWord;
+      for (size_t w = 0; w < full_words; ++w) {
+        ++ops_.words_compared;
+        if (x_prime[w] != x[w]) {
           duplicate = true;
           break;
         }
       }
+      const size_t partial = i % features::kPackedSlotsPerWord;
+      if (!duplicate && partial != 0) {
+        ++ops_.words_compared;
+        const uint64_t mask = features::PackedLowSlotsMask(partial);
+        duplicate = ((x_prime[full_words] ^ x[full_words]) & mask) != 0;
+      }
       if (duplicate) {
         ++duplicate_prunes_;
+        arena_.Rewind(mark);
         continue;
       }
       if (config_.use_ceiling_prune) {
         // Optimistic bound: no descendant can beat the ceiling's p-value
         // at the current support. The ceiling is consumed immediately,
         // so one buffer serves every Search call.
-        features::CeilingInto(population_, s_prime, &ceiling_buffer_);
-        const double best_possible = Evaluate(
-            ceiling_buffer_, static_cast<int64_t>(s_prime.size()));
+        population_.CeilingInto({s_prime, s_prime_size},
+                                ceiling_buffer_.data(), &ops_);
+        const double best_possible =
+            Evaluate(ceiling_buffer_.data(),
+                     static_cast<int64_t>(s_prime_size));
         if (best_possible >= config_.max_pvalue) {
           ++ceiling_prunes_;
+          arena_.Rewind(mark);
           continue;
         }
       }
-      Search(x_prime, s_prime, i);
+      Search(x_prime, {s_prime, s_prime_size}, i);
+      arena_.Rewind(mark);
       if (stopped_) return;
     }
   }
 
-  const std::vector<const FeatureVec*>& population_;
+  const PackedVectorSet& population_;
   const stats::FeaturePriors& priors_;
   const FvMineConfig config_;
   size_t width_;
+  size_t words_;
   FvMineResult result_;
   util::WallTimer timer_;
-  FeatureVec ceiling_buffer_;
+  util::Arena arena_;
+  std::vector<uint64_t> ceiling_buffer_;
   bool stopped_ = false;
   // Local work tallies, flushed to the registry once in Run().
   uint64_t support_checks_ = 0;
   uint64_t ceiling_prunes_ = 0;
   uint64_t duplicate_prunes_ = 0;
+  features::PackedOpStats ops_;
 };
 
 }  // namespace
 
-FvMineResult FvMine(
-    const std::vector<const features::FeatureVec*>& population,
-    const stats::FeaturePriors& priors, const FvMineConfig& config) {
+FvMineResult FvMine(const features::PackedVectorSet& population,
+                    const stats::FeaturePriors& priors,
+                    const FvMineConfig& config) {
   Searcher searcher(population, priors, config);
   return searcher.Run();
 }

@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "features/feature_vector.h"
+#include "features/packed_vector_set.h"
 #include "stats/pvalue_model.h"
 
 namespace graphsig::fvmine {
@@ -42,9 +43,12 @@ struct FvMineResult {
 // over this same population) is <= max_pvalue. Bottom-up depth-first
 // search with support, duplicate-state, and optimistic-ceiling pruning
 // (Algorithm 1 of the paper / He & Singh's FVMine).
-FvMineResult FvMine(
-    const std::vector<const features::FeatureVec*>& population,
-    const stats::FeaturePriors& priors, const FvMineConfig& config);
+//
+// The recursion runs entirely on the packed SWAR kernels and a per-call
+// monotonic arena — zero steady-state heap allocations (DESIGN.md §14).
+FvMineResult FvMine(const features::PackedVectorSet& population,
+                    const stats::FeaturePriors& priors,
+                    const FvMineConfig& config);
 
 }  // namespace graphsig::fvmine
 

@@ -1,0 +1,68 @@
+#include "graph/csr.h"
+
+#include <deque>
+
+#include "obs/metrics.h"
+#include "util/check.h"
+
+namespace graphsig::graph {
+
+CsrGraph::CsrGraph(const Graph& g) {
+  const int32_t n = g.num_vertices();
+  labels_ = g.vertex_labels();
+  num_edges_ = g.num_edges();
+  offsets_.resize(static_cast<size_t>(n) + 1);
+  size_t total = 0;
+  for (VertexId v = 0; v < n; ++v) {
+    offsets_[v] = static_cast<int32_t>(total);
+    total += g.neighbors(v).size();
+  }
+  offsets_[n] = static_cast<int32_t>(total);
+  entries_.reserve(total);
+  for (VertexId v = 0; v < n; ++v) {
+    const std::vector<AdjEntry>& adj = g.neighbors(v);
+    entries_.insert(entries_.end(), adj.begin(), adj.end());
+  }
+  static obs::Counter* const builds =
+      obs::MetricsRegistry::Global().GetCounter("graph/csr_builds");
+  builds->Add(1);
+}
+
+Label CsrGraph::EdgeLabelBetween(VertexId u, VertexId v) const {
+  if (u < 0 || u >= num_vertices() || v < 0 || v >= num_vertices()) {
+    return -1;
+  }
+  const VertexId a = degree(u) <= degree(v) ? u : v;
+  const VertexId b = (a == u) ? v : u;
+  for (const AdjEntry& entry : neighbors(a)) {
+    if (entry.to == b) return entry.label;
+  }
+  return -1;
+}
+
+std::vector<VertexId> CsrGraph::VerticesWithinRadius(VertexId center,
+                                                     int radius) const {
+  GS_CHECK_GE(center, 0);
+  GS_CHECK_LT(center, num_vertices());
+  std::vector<int> dist(static_cast<size_t>(num_vertices()), -1);
+  std::vector<VertexId> order;
+  std::deque<VertexId> queue;
+  dist[center] = 0;
+  queue.push_back(center);
+  order.push_back(center);
+  while (!queue.empty()) {
+    VertexId u = queue.front();
+    queue.pop_front();
+    if (dist[u] == radius) continue;
+    for (const AdjEntry& entry : neighbors(u)) {
+      if (dist[entry.to] < 0) {
+        dist[entry.to] = dist[u] + 1;
+        queue.push_back(entry.to);
+        order.push_back(entry.to);
+      }
+    }
+  }
+  return order;
+}
+
+}  // namespace graphsig::graph

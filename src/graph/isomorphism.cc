@@ -3,12 +3,17 @@
 #include <algorithm>
 #include <map>
 
+#include "graph/csr.h"
+#include "obs/metrics.h"
 #include "util/check.h"
 
 namespace graphsig::graph {
 namespace {
 
-// Shared backtracking state for one (pattern, target) match run.
+// Shared backtracking state for one (pattern, target) match run. Both
+// graphs are flattened to CSR up front so the inner feasibility /
+// candidate loops walk contiguous half-edge arrays (DESIGN.md §14); the
+// visit order, candidate order, and results are unchanged.
 class Matcher {
  public:
   Matcher(const Graph& pattern, const Graph& target, uint64_t limit)
@@ -35,6 +40,13 @@ class Matcher {
       return 1;
     }
     Extend(0);
+    // Deterministic work counter (DESIGN.md §12): the candidate pairs
+    // examined depend only on the two graphs, so the tally is
+    // byte-identical for any thread count. Flushed once per run.
+    static obs::Counter* const feasibility_checks =
+        obs::MetricsRegistry::Global().GetCounter(
+            "graph/vf2_feasibility_checks");
+    feasibility_checks->Add(feasibility_checks_);
     return found_;
   }
 
@@ -92,7 +104,8 @@ class Matcher {
   }
 
   // Can pattern vertex `pv` map to target vertex `tv` given current map?
-  bool Feasible(VertexId pv, VertexId tv) const {
+  bool Feasible(VertexId pv, VertexId tv) {
+    ++feasibility_checks_;
     if (target_used_[tv]) return false;
     if (pattern_.vertex_label(pv) != target_.vertex_label(tv)) return false;
     if (target_.degree(tv) < pattern_.degree(pv)) return false;
@@ -147,8 +160,8 @@ class Matcher {
     target_used_[tv] = false;
   }
 
-  const Graph& pattern_;
-  const Graph& target_;
+  const CsrGraph pattern_;
+  const CsrGraph target_;
   const uint64_t limit_;
   std::vector<VertexId> order_;
   std::vector<VertexId> pattern_to_target_;
@@ -156,6 +169,8 @@ class Matcher {
   std::vector<VertexId>* capture_ = nullptr;
   std::vector<std::vector<VertexId>>* collect_ = nullptr;
   uint64_t found_ = 0;
+  // Local tally, flushed once in Run().
+  uint64_t feasibility_checks_ = 0;
 };
 
 }  // namespace

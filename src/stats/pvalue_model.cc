@@ -5,27 +5,53 @@
 
 namespace graphsig::stats {
 
-FeaturePriors::FeaturePriors(
-    const std::vector<const features::FeatureVec*>& population, int bins)
-    : bins_(bins), population_size_(static_cast<int64_t>(population.size())) {
+FeaturePriors::FeaturePriors(const features::PackedVectorSet& population,
+                             int bins)
+    : bins_(bins),
+      population_size_(static_cast<int64_t>(population.size())) {
   GS_CHECK(!population.empty());
   GS_CHECK_GT(bins, 0);
-  const size_t width = population[0]->size();
+  const size_t width = population.width();
   tail_counts_.assign(width,
                       std::vector<int64_t>(static_cast<size_t>(bins) + 1, 0));
-  for (const features::FeatureVec* vec : population) {
-    GS_CHECK_EQ(vec->size(), width);
+  for (size_t i = 0; i < population.size(); ++i) {
+    const features::PackedSlice row = population.slice(static_cast<int32_t>(i));
     for (size_t slot = 0; slot < width; ++slot) {
-      const int value = (*vec)[slot];
-      GS_CHECK_GE(value, 0);
-      GS_CHECK_LE(value, bins);
-      // Count the exact value; convert to tail counts below.
-      ++tail_counts_[slot][value];
+      CountValue(slot, row.slot(slot));
     }
   }
+  FinalizeTailCounts();
+}
+
+FeaturePriors::FeaturePriors(
+    const std::vector<features::FeatureVec>& population, int bins)
+    : bins_(bins),
+      population_size_(static_cast<int64_t>(population.size())) {
+  GS_CHECK(!population.empty());
+  GS_CHECK_GT(bins, 0);
+  const size_t width = population[0].size();
+  tail_counts_.assign(width,
+                      std::vector<int64_t>(static_cast<size_t>(bins) + 1, 0));
+  for (const features::FeatureVec& vec : population) {
+    GS_CHECK_EQ(vec.size(), width);
+    for (size_t slot = 0; slot < width; ++slot) {
+      CountValue(slot, vec[slot]);
+    }
+  }
+  FinalizeTailCounts();
+}
+
+void FeaturePriors::CountValue(size_t slot, int value) {
+  GS_CHECK_GE(value, 0);
+  GS_CHECK_LE(value, bins_);
+  // Count the exact value; converted to tail counts in FinalizeTailCounts.
+  ++tail_counts_[slot][value];
+}
+
+void FeaturePriors::FinalizeTailCounts() {
   // Suffix-sum each slot: tail[v] = #vectors with value >= v.
   for (auto& slot_counts : tail_counts_) {
-    for (int v = bins - 1; v >= 0; --v) {
+    for (int v = bins_ - 1; v >= 0; --v) {
       slot_counts[v] += slot_counts[v + 1];
     }
     GS_CHECK_EQ(slot_counts[0], population_size_);
@@ -53,7 +79,27 @@ double FeaturePriors::ProbRandomSuperVector(
   return prob;
 }
 
+double FeaturePriors::ProbRandomSuperVector(
+    const features::PackedSlice& x) const {
+  GS_CHECK_EQ(x.width, tail_counts_.size());
+  double prob = 1.0;
+  for (size_t slot = 0; slot < x.width; ++slot) {
+    const int16_t value = x.slot(slot);
+    if (value > 0) {
+      prob *= FeatureTailProbability(slot, value);
+      if (prob == 0.0) break;
+    }
+  }
+  return prob;
+}
+
 double FeaturePriors::PValue(const features::FeatureVec& x,
+                             int64_t observed_support) const {
+  const double p = ProbRandomSuperVector(x);
+  return BinomialUpperTail(population_size_, observed_support, p);
+}
+
+double FeaturePriors::PValue(const features::PackedSlice& x,
                              int64_t observed_support) const {
   const double p = ProbRandomSuperVector(x);
   return BinomialUpperTail(population_size_, observed_support, p);
@@ -65,15 +111,33 @@ double FeaturePriors::PValueNormal(const features::FeatureVec& x,
   return BinomialUpperTailNormal(population_size_, observed_support, p);
 }
 
-double FeaturePriors::PValueAuto(const features::FeatureVec& x,
-                                 int64_t observed_support,
-                                 double large_threshold) const {
+double FeaturePriors::PValueNormal(const features::PackedSlice& x,
+                                   int64_t observed_support) const {
   const double p = ProbRandomSuperVector(x);
+  return BinomialUpperTailNormal(population_size_, observed_support, p);
+}
+
+double FeaturePriors::PValueAutoFromProb(double p, int64_t observed_support,
+                                         double large_threshold) const {
   const double m = static_cast<double>(population_size_);
   if (m * p >= large_threshold && m * (1.0 - p) >= large_threshold) {
     return BinomialUpperTailNormal(population_size_, observed_support, p);
   }
   return BinomialUpperTail(population_size_, observed_support, p);
+}
+
+double FeaturePriors::PValueAuto(const features::FeatureVec& x,
+                                 int64_t observed_support,
+                                 double large_threshold) const {
+  return PValueAutoFromProb(ProbRandomSuperVector(x), observed_support,
+                            large_threshold);
+}
+
+double FeaturePriors::PValueAuto(const features::PackedSlice& x,
+                                 int64_t observed_support,
+                                 double large_threshold) const {
+  return PValueAutoFromProb(ProbRandomSuperVector(x), observed_support,
+                            large_threshold);
 }
 
 }  // namespace graphsig::stats

@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "features/feature_vector.h"
+#include "features/packed_vector_set.h"
 
 namespace graphsig::stats {
 
@@ -17,9 +18,14 @@ namespace graphsig::stats {
 // (Eqns. 5-6).
 class FeaturePriors {
  public:
-  // Builds priors from the population; all vectors must share one width.
-  // `bins` is the discretization bin count (values in [0, bins]).
-  FeaturePriors(const std::vector<const features::FeatureVec*>& population,
+  // Builds priors from a packed population (the production path: FVMine
+  // and pattern scoring hand the same PackedVectorSet to both priors and
+  // search). `bins` is the discretization bin count (values in [0, bins]).
+  FeaturePriors(const features::PackedVectorSet& population, int bins);
+
+  // Builds priors from a contiguous population; all vectors must share
+  // one width.
+  FeaturePriors(const std::vector<features::FeatureVec>& population,
                 int bins);
 
   // Number of vectors the priors were estimated from (m).
@@ -33,15 +39,20 @@ class FeaturePriors {
   // P(x): probability that a random vector is a super-vector of x
   // (Eqn. 4). Slots with x_i == 0 contribute probability 1.
   double ProbRandomSuperVector(const features::FeatureVec& x) const;
+  double ProbRandomSuperVector(const features::PackedSlice& x) const;
 
   // Exact p-value of observing support >= observed_support over a
   // population of population_size() random vectors (Eqn. 6).
   double PValue(const features::FeatureVec& x,
                 int64_t observed_support) const;
+  double PValue(const features::PackedSlice& x,
+                int64_t observed_support) const;
 
   // Normal-approximation p-value (for large m*P; exposed for the
   // approximation-quality tests and as a faster alternative).
   double PValueNormal(const features::FeatureVec& x,
+                      int64_t observed_support) const;
+  double PValueNormal(const features::PackedSlice& x,
                       int64_t observed_support) const;
 
   // The paper's hybrid (Section III-B): the normal approximation when
@@ -49,8 +60,15 @@ class FeaturePriors {
   // binomial tail otherwise.
   double PValueAuto(const features::FeatureVec& x, int64_t observed_support,
                     double large_threshold = 50.0) const;
+  double PValueAuto(const features::PackedSlice& x, int64_t observed_support,
+                    double large_threshold = 50.0) const;
 
  private:
+  void CountValue(size_t slot, int value);
+  void FinalizeTailCounts();
+  double PValueAutoFromProb(double p, int64_t observed_support,
+                            double large_threshold) const;
+
   int bins_;
   int64_t population_size_;
   // tail_counts_[slot][v] = number of vectors with value >= v; the v = 0

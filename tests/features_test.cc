@@ -4,8 +4,10 @@
 
 #include "features/feature_space.h"
 #include "features/feature_vector.h"
+#include "features/packed_vector_set.h"
 #include "features/rwr.h"
 #include "features/selection.h"
+#include "util/rng.h"
 
 namespace graphsig::features {
 namespace {
@@ -98,12 +100,137 @@ TEST(FeatureVectorTest, PaperTableIExamples) {
 }
 
 TEST(FeatureVectorTest, FloorAndCeiling) {
-  FeatureVec a = {1, 4, 0};
-  FeatureVec b = {2, 1, 3};
-  FeatureVec floor = Floor({&a, &b});
-  FeatureVec ceiling = Ceiling({&a, &b});
+  std::vector<FeatureVec> vs = {{1, 4, 0}, {2, 1, 3}};
+  std::vector<int32_t> both = {0, 1};
+  FeatureVec floor, ceiling;
+  FloorInto(vs.data(), both, &floor);
+  CeilingInto(vs.data(), both, &ceiling);
   EXPECT_EQ(floor, (FeatureVec{1, 1, 0}));
   EXPECT_EQ(ceiling, (FeatureVec{2, 4, 3}));
+}
+
+// ---------------------------------------------------------------------------
+// PackedVectorSet: the word-parallel kernels must agree with the scalar
+// reference (IsSubVector / FloorInto / CeilingInto) on every input.
+// ---------------------------------------------------------------------------
+
+std::vector<FeatureVec> RandomVectors(uint64_t seed, size_t n, size_t width,
+                                      int max_value) {
+  util::Rng rng(seed);
+  std::vector<FeatureVec> out;
+  out.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    FeatureVec v(width);
+    for (auto& x : v) {
+      x = static_cast<int16_t>(rng.NextBounded(max_value + 1));
+    }
+    out.push_back(std::move(v));
+  }
+  return out;
+}
+
+TEST(PackedVectorSetTest, RoundTripPreservesValues) {
+  for (size_t width : {1u, 5u, 15u, 16u, 17u, 31u, 32u, 48u}) {
+    auto vs = RandomVectors(100 + width, 20, width, 15);
+    auto packed = PackedVectorSet::FromVectors(vs);
+    ASSERT_EQ(packed.size(), vs.size());
+    ASSERT_EQ(packed.width(), width);
+    for (size_t i = 0; i < vs.size(); ++i) {
+      EXPECT_EQ(packed.Unpack(static_cast<int32_t>(i)), vs[i])
+          << "width=" << width << " i=" << i;
+      for (size_t s = 0; s < width; ++s) {
+        EXPECT_EQ(packed.at(static_cast<int32_t>(i), s), vs[i][s]);
+      }
+    }
+  }
+}
+
+TEST(PackedVectorSetTest, DominatesMatchesScalarReference) {
+  // 1k seeded random pairs across widths, plus the degenerate extremes.
+  for (size_t width : {1u, 7u, 16u, 23u, 48u}) {
+    auto vs = RandomVectors(200 + width, 200, width, 3);
+    vs.push_back(FeatureVec(width, 0));   // all-zero dominates everything
+    vs.push_back(FeatureVec(width, 15));  // all-max dominated by nothing else
+    auto packed = PackedVectorSet::FromVectors(vs);
+    PackedOpStats stats;
+    for (size_t i = 0; i < vs.size(); ++i) {
+      for (size_t j = 0; j < vs.size(); ++j) {
+        const bool expected = IsSubVector(vs[i], vs[j]);
+        const bool got = packed.Dominates(
+            packed.row(static_cast<int32_t>(i)), static_cast<int32_t>(j),
+            &stats);
+        ASSERT_EQ(got, expected)
+            << "width=" << width << " i=" << i << " j=" << j;
+      }
+    }
+    EXPECT_GT(stats.words_compared, 0u);
+  }
+}
+
+TEST(PackedVectorSetTest, FloorCeilingMatchScalarReference) {
+  util::Rng rng(77);
+  for (int trial = 0; trial < 1000; ++trial) {
+    const size_t width = 1 + rng.NextBounded(40);
+    const size_t n = 2 + rng.NextBounded(10);
+    auto vs = RandomVectors(3000 + trial, n, width, 15);
+    auto packed = PackedVectorSet::FromVectors(vs);
+
+    std::vector<int32_t> indices;
+    for (size_t i = 0; i < n; ++i) {
+      if (rng.NextBernoulli(0.6)) indices.push_back(static_cast<int32_t>(i));
+    }
+    if (indices.empty()) indices.push_back(0);
+
+    FeatureVec want_floor, want_ceiling;
+    FloorInto(vs.data(), indices, &want_floor);
+    CeilingInto(vs.data(), indices, &want_ceiling);
+
+    PackedOpStats stats;
+    std::vector<uint64_t> floor_words(packed.words_per_vector());
+    std::vector<uint64_t> ceiling_words(packed.words_per_vector());
+    packed.FloorInto(indices, floor_words.data(), &stats);
+    packed.CeilingInto(indices, ceiling_words.data(), &stats);
+    EXPECT_EQ(UnpackWords(floor_words.data(), width), want_floor)
+        << "trial=" << trial;
+    EXPECT_EQ(UnpackWords(ceiling_words.data(), width), want_ceiling)
+        << "trial=" << trial;
+  }
+}
+
+TEST(PackedVectorSetTest, AllZeroAndAllMaxExtremes) {
+  for (size_t width : {1u, 15u, 16u, 17u}) {
+    std::vector<FeatureVec> vs = {FeatureVec(width, 0),
+                                  FeatureVec(width, 15)};
+    auto packed = PackedVectorSet::FromVectors(vs);
+    PackedOpStats stats;
+    EXPECT_TRUE(packed.Dominates(packed.row(0), 1, &stats));
+    EXPECT_TRUE(packed.Dominates(packed.row(0), 0, &stats));
+    EXPECT_TRUE(packed.Dominates(packed.row(1), 1, &stats));
+    if (width > 0) {
+      EXPECT_FALSE(packed.Dominates(packed.row(1), 0, &stats));
+    }
+    std::vector<int32_t> both = {0, 1};
+    std::vector<uint64_t> floor_words(packed.words_per_vector());
+    std::vector<uint64_t> ceiling_words(packed.words_per_vector());
+    packed.FloorInto(both, floor_words.data(), &stats);
+    packed.CeilingInto(both, ceiling_words.data(), &stats);
+    EXPECT_EQ(UnpackWords(floor_words.data(), width), FeatureVec(width, 0));
+    EXPECT_EQ(UnpackWords(ceiling_words.data(), width),
+              FeatureVec(width, 15));
+  }
+}
+
+TEST(PackedVectorSetTest, WordwisePruneCounterFires) {
+  // Vectors that differ in the first word prune before later words are
+  // touched; the counter must record it.
+  const size_t width = 48;  // 3 words
+  std::vector<FeatureVec> vs = {FeatureVec(width, 0), FeatureVec(width, 0)};
+  vs[0][0] = 5;  // first slot of row 0 exceeds row 1
+  auto packed = PackedVectorSet::FromVectors(vs);
+  PackedOpStats stats;
+  EXPECT_FALSE(packed.Dominates(packed.row(0), 1, &stats));
+  EXPECT_EQ(stats.words_compared, 1u);
+  EXPECT_EQ(stats.vectors_pruned_wordwise, 1u);
 }
 
 TEST(RwrTest, StationaryDistributionIsProbability) {

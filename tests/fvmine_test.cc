@@ -12,10 +12,12 @@ namespace {
 
 using features::FeatureVec;
 
-std::vector<const FeatureVec*> Refs(const std::vector<FeatureVec>& vs) {
-  std::vector<const FeatureVec*> refs;
-  for (const auto& v : vs) refs.push_back(&v);
-  return refs;
+// Scalar reference floor over population[indices].
+FeatureVec FloorOf(const std::vector<FeatureVec>& population,
+                   const std::vector<int32_t>& indices) {
+  FeatureVec out;
+  features::FloorInto(population.data(), indices, &out);
+  return out;
 }
 
 // Ground truth by exhaustive subset enumeration: a closed vector is the
@@ -27,11 +29,11 @@ std::map<FeatureVec, std::vector<int32_t>> BruteForceClosedSignificant(
   const size_t n = population.size();
   std::map<FeatureVec, std::vector<int32_t>> out;
   for (uint32_t mask = 1; mask < (1u << n); ++mask) {
-    std::vector<const FeatureVec*> subset;
+    std::vector<int32_t> subset;
     for (size_t i = 0; i < n; ++i) {
-      if (mask & (1u << i)) subset.push_back(&population[i]);
+      if (mask & (1u << i)) subset.push_back(static_cast<int32_t>(i));
     }
-    FeatureVec floor = features::Floor(subset);
+    FeatureVec floor = FloorOf(population, subset);
     // Supporting set of the floor over the whole population.
     std::vector<int32_t> supporting;
     for (size_t i = 0; i < n; ++i) {
@@ -40,9 +42,7 @@ std::map<FeatureVec, std::vector<int32_t>> BruteForceClosedSignificant(
       }
     }
     // Closedness: floor of the supporting set must be the vector itself.
-    std::vector<const FeatureVec*> supp_refs;
-    for (int32_t i : supporting) supp_refs.push_back(&population[i]);
-    if (features::Floor(supp_refs) != floor) continue;
+    if (FloorOf(population, supporting) != floor) continue;
     if (static_cast<int64_t>(supporting.size()) < min_support) continue;
     if (priors.PValue(floor, static_cast<int64_t>(supporting.size())) >
         max_pvalue) {
@@ -74,12 +74,12 @@ TEST(FvMineTest, FindsSharedSubVector) {
   // Three vectors share the floor {1, 1, 0}; one outlier does not.
   std::vector<FeatureVec> population = {
       {2, 1, 0}, {1, 2, 0}, {1, 1, 3}, {0, 0, 5}};
-  auto refs = Refs(population);
-  stats::FeaturePriors priors(refs, 10);
+  auto packed = features::PackedVectorSet::FromVectors(population);
+  stats::FeaturePriors priors(population, 10);
   FvMineConfig config;
   config.min_support = 3;
   config.max_pvalue = 0.9;
-  FvMineResult result = FvMine(refs, priors, config);
+  FvMineResult result = FvMine(packed, priors, config);
   bool found = false;
   for (const auto& sv : result.vectors) {
     if (sv.vector == FeatureVec{1, 1, 0}) {
@@ -93,12 +93,12 @@ TEST(FvMineTest, FindsSharedSubVector) {
 
 TEST(FvMineTest, EmittedVectorsAreClosedWithExactSupport) {
   auto population = RandomPopulation(42, 12, 5, 3);
-  auto refs = Refs(population);
-  stats::FeaturePriors priors(refs, 10);
+  auto packed = features::PackedVectorSet::FromVectors(population);
+  stats::FeaturePriors priors(population, 10);
   FvMineConfig config;
   config.min_support = 2;
   config.max_pvalue = 0.8;
-  FvMineResult result = FvMine(refs, priors, config);
+  FvMineResult result = FvMine(packed, priors, config);
   for (const auto& sv : result.vectors) {
     // Supporting set is exactly the dominators.
     std::vector<int32_t> expected;
@@ -109,9 +109,7 @@ TEST(FvMineTest, EmittedVectorsAreClosedWithExactSupport) {
     }
     EXPECT_EQ(sv.supporting, expected);
     // Closed: floor of supporters equals the vector.
-    std::vector<const FeatureVec*> supp;
-    for (int32_t i : sv.supporting) supp.push_back(&population[i]);
-    EXPECT_EQ(features::Floor(supp), sv.vector);
+    EXPECT_EQ(FloorOf(population, sv.supporting), sv.vector);
     // Thresholds hold.
     EXPECT_GE(sv.support, config.min_support);
     EXPECT_LE(sv.p_value, config.max_pvalue);
@@ -120,12 +118,12 @@ TEST(FvMineTest, EmittedVectorsAreClosedWithExactSupport) {
 
 TEST(FvMineTest, NoDuplicateVectorsEmitted) {
   auto population = RandomPopulation(43, 12, 5, 3);
-  auto refs = Refs(population);
-  stats::FeaturePriors priors(refs, 10);
+  auto packed = features::PackedVectorSet::FromVectors(population);
+  stats::FeaturePriors priors(population, 10);
   FvMineConfig config;
   config.min_support = 2;
   config.max_pvalue = 0.8;
-  FvMineResult result = FvMine(refs, priors, config);
+  FvMineResult result = FvMine(packed, priors, config);
   std::set<FeatureVec> seen;
   for (const auto& sv : result.vectors) {
     EXPECT_TRUE(seen.insert(sv.vector).second)
@@ -135,12 +133,12 @@ TEST(FvMineTest, NoDuplicateVectorsEmitted) {
 
 TEST(FvMineTest, SupportThresholdPrunes) {
   std::vector<FeatureVec> population = {{3, 0}, {3, 0}, {0, 3}};
-  auto refs = Refs(population);
-  stats::FeaturePriors priors(refs, 10);
+  auto packed = features::PackedVectorSet::FromVectors(population);
+  stats::FeaturePriors priors(population, 10);
   FvMineConfig config;
   config.min_support = 3;
   config.max_pvalue = 1.0;
-  FvMineResult result = FvMine(refs, priors, config);
+  FvMineResult result = FvMine(packed, priors, config);
   for (const auto& sv : result.vectors) {
     EXPECT_GE(sv.support, 3);
   }
@@ -148,13 +146,13 @@ TEST(FvMineTest, SupportThresholdPrunes) {
 
 TEST(FvMineTest, MaxResultsCapStops) {
   auto population = RandomPopulation(44, 14, 6, 3);
-  auto refs = Refs(population);
-  stats::FeaturePriors priors(refs, 10);
+  auto packed = features::PackedVectorSet::FromVectors(population);
+  stats::FeaturePriors priors(population, 10);
   FvMineConfig config;
   config.min_support = 1;
   config.max_pvalue = 0.99;
   config.max_results = 2;
-  FvMineResult result = FvMine(refs, priors, config);
+  FvMineResult result = FvMine(packed, priors, config);
   EXPECT_LE(result.vectors.size(), 2u);
   EXPECT_FALSE(result.completed);
 }
@@ -165,8 +163,8 @@ class FvMinePropertyTest : public ::testing::TestWithParam<int> {};
 
 TEST_P(FvMinePropertyTest, MatchesBruteForce) {
   auto population = RandomPopulation(6000 + GetParam(), 10, 4, 3);
-  auto refs = Refs(population);
-  stats::FeaturePriors priors(refs, 10);
+  auto packed = features::PackedVectorSet::FromVectors(population);
+  stats::FeaturePriors priors(population, 10);
   FvMineConfig config;
   config.min_support = 2;
   config.max_pvalue = 0.75;
@@ -177,7 +175,7 @@ TEST_P(FvMinePropertyTest, MatchesBruteForce) {
 
   for (bool prune : {true, false}) {
     config.use_ceiling_prune = prune;
-    FvMineResult result = FvMine(refs, priors, config);
+    FvMineResult result = FvMine(packed, priors, config);
     std::map<FeatureVec, std::vector<int32_t>> mined;
     for (const auto& sv : result.vectors) {
       mined[sv.vector] = sv.supporting;
@@ -188,15 +186,15 @@ TEST_P(FvMinePropertyTest, MatchesBruteForce) {
 
 TEST_P(FvMinePropertyTest, CeilingPruneOnlyReducesWork) {
   auto population = RandomPopulation(7000 + GetParam(), 12, 5, 3);
-  auto refs = Refs(population);
-  stats::FeaturePriors priors(refs, 10);
+  auto packed = features::PackedVectorSet::FromVectors(population);
+  stats::FeaturePriors priors(population, 10);
   FvMineConfig config;
   config.min_support = 2;
   config.max_pvalue = 0.5;
   config.use_ceiling_prune = true;
-  auto pruned = FvMine(refs, priors, config);
+  auto pruned = FvMine(packed, priors, config);
   config.use_ceiling_prune = false;
-  auto full = FvMine(refs, priors, config);
+  auto full = FvMine(packed, priors, config);
   EXPECT_LE(pruned.states_explored, full.states_explored);
   EXPECT_EQ(pruned.vectors.size(), full.vectors.size());
 }
@@ -208,14 +206,14 @@ TEST(FvMineTest, NormalApproximationAgreesOnLargePopulations) {
   // same closed-vector set as the exact binomial tail (only borderline
   // p-values can flip).
   auto population = RandomPopulation(99, 400, 6, 3);
-  auto refs = Refs(population);
-  stats::FeaturePriors priors(refs, 10);
+  auto packed = features::PackedVectorSet::FromVectors(population);
+  stats::FeaturePriors priors(population, 10);
   FvMineConfig config;
   config.min_support = 8;
   config.max_pvalue = 1e-3;
-  FvMineResult exact = FvMine(refs, priors, config);
+  FvMineResult exact = FvMine(packed, priors, config);
   config.use_normal_approximation = true;
-  FvMineResult approx = FvMine(refs, priors, config);
+  FvMineResult approx = FvMine(packed, priors, config);
 
   std::set<FeatureVec> exact_set, approx_set;
   for (const auto& sv : exact.vectors) exact_set.insert(sv.vector);

@@ -50,9 +50,7 @@ TEST(PValueAutoTest, MatchesExactInSmallRegimeAndNormalInLarge) {
     }
     population.push_back(std::move(v));
   }
-  std::vector<const features::FeatureVec*> refs;
-  for (const auto& v : population) refs.push_back(&v);
-  stats::FeaturePriors priors(refs, 10);
+  stats::FeaturePriors priors(population, 10);
 
   // Common vector (large m*P): auto == normal, and both close to exact.
   features::FeatureVec common(8, 0);

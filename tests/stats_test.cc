@@ -90,12 +90,14 @@ TEST(DistributionsTest, NormalApproximationClosesOnExact) {
 class TableIPriors : public ::testing::Test {
  protected:
   TableIPriors()
-      : v1_{1, 0, 0, 2},
-        v2_{1, 1, 0, 2},
-        v3_{2, 0, 1, 2},
-        v4_{1, 0, 1, 0},
-        priors_({&v1_, &v2_, &v3_, &v4_}, /*bins=*/10) {}
+      : population_{{1, 0, 0, 2}, {1, 1, 0, 2}, {2, 0, 1, 2}, {1, 0, 1, 0}},
+        v1_(population_[0]),
+        v2_(population_[1]),
+        v3_(population_[2]),
+        v4_(population_[3]),
+        priors_(population_, /*bins=*/10) {}
 
+  std::vector<FeatureVec> population_;
   FeatureVec v1_, v2_, v3_, v4_;
   FeaturePriors priors_;
 };
@@ -141,9 +143,7 @@ TEST_P(PriorMonotonicityTest, SubVectorHasLargerPValue) {
     for (auto& x : v) x = static_cast<int16_t>(rng.NextBounded(bins + 1));
     population.push_back(std::move(v));
   }
-  std::vector<const FeatureVec*> refs;
-  for (const auto& v : population) refs.push_back(&v);
-  FeaturePriors priors(refs, bins);
+  FeaturePriors priors(population, bins);
 
   // Random y and a random sub-vector x of y.
   const FeatureVec& y = population[rng.NextBounded(population.size())];

@@ -95,15 +95,14 @@ TEST(FvMineBudgetTest, BudgetStopsSearch) {
     }
     population.push_back(std::move(v));
   }
-  std::vector<const features::FeatureVec*> refs;
-  for (const auto& v : population) refs.push_back(&v);
-  stats::FeaturePriors priors(refs, 10);
+  auto packed = features::PackedVectorSet::FromVectors(population);
+  stats::FeaturePriors priors(population, 10);
   fvmine::FvMineConfig config;
   config.min_support = 2;
   config.max_pvalue = 0.999;
   config.budget_seconds = 0.05;
   util::WallTimer timer;
-  fvmine::FvMineResult result = fvmine::FvMine(refs, priors, config);
+  fvmine::FvMineResult result = fvmine::FvMine(packed, priors, config);
   EXPECT_LT(timer.ElapsedSeconds(), 5.0);
   // Either the search was genuinely small or the budget fired.
   if (!result.completed) {
