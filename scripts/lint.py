@@ -58,8 +58,21 @@ Rules (each can be waived on one line with a `lint:allow=<rule>` comment):
                 depend on. std:: distributions are also not portable
                 across standard-library implementations, so seeds would
                 stop replaying the moment the toolchain changes.
+
+Waiver hygiene: a `lint:allow=<rule>` comment is itself checked. A
+waiver naming an unknown rule, or sitting on a line the named rule no
+longer matches (the offending code was edited away, or the file is out
+of the rule's scope), is reported as `stale-waiver` and fails the run —
+waivers must never outlive the violation they document.
+
+Directories named `fixtures/` are skipped: they hold deliberate
+violations that drive the lint and analyzer self-tests.
+
+Run with `--root <dir>` to lint a different tree (used by the
+self-test, which lints small synthetic trees under /tmp).
 """
 
+import argparse
 import re
 import sys
 from pathlib import Path
@@ -182,8 +195,12 @@ def strip_strings(line: str) -> str:
     return "".join(out)
 
 
-def lint_file(path: Path) -> list:
-    rel = path.relative_to(REPO)
+RULE_BY_NAME = {rule: (pattern, in_scope) for rule, pattern, in_scope, _
+                in RULES}
+
+
+def lint_file(path: Path, repo: Path) -> list:
+    rel = path.relative_to(repo)
     findings = []
     try:
         text = path.read_text(encoding="utf-8")
@@ -200,21 +217,51 @@ def lint_file(path: Path) -> list:
             haystack = stripped if rule == "todo-owner" else code
             if pattern.search(haystack):
                 findings.append((rel, lineno, rule, message))
+        # Waiver hygiene: every waiver must name a real rule AND sit on
+        # a line that rule would currently flag. Anything else is stale.
+        for name in sorted(allowed):
+            entry = RULE_BY_NAME.get(name)
+            if entry is None:
+                findings.append((
+                    rel, lineno, "stale-waiver",
+                    f"`lint:allow={name}` names an unknown rule — fix the "
+                    f"spelling or remove the waiver"))
+                continue
+            pattern, in_scope = entry
+            haystack = stripped if name == "todo-owner" else code
+            if not in_scope(rel) or not pattern.search(haystack):
+                findings.append((
+                    rel, lineno, "stale-waiver",
+                    f"`lint:allow={name}` no longer matches this line "
+                    f"(rule out of scope here or the violation was edited "
+                    f"away) — remove the waiver"))
     return findings
 
 
-def main() -> int:
+def collect_files(repo: Path) -> list:
     files = []
     for d in SOURCE_DIRS:
-        root = REPO / d
+        root = repo / d
         if not root.is_dir():
             continue
         files.extend(
-            p for p in sorted(root.rglob("*")) if p.suffix in SOURCE_SUFFIXES
+            p for p in sorted(root.rglob("*"))
+            if p.suffix in SOURCE_SUFFIXES
+            and "fixtures" not in p.relative_to(repo).parts
         )
+    return files
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--root", type=Path, default=REPO,
+                        help="tree to lint (default: this repo)")
+    args = parser.parse_args()
+    repo = args.root.resolve()
+    files = collect_files(repo)
     findings = []
     for path in files:
-        findings.extend(lint_file(path))
+        findings.extend(lint_file(path, repo))
     for rel, lineno, rule, message in findings:
         print(f"{rel}:{lineno}: [{rule}] {message}")
     print(

@@ -1,0 +1,22 @@
+#!/usr/bin/env python3
+"""Entry point for the semantic determinism analyzer.
+
+Thin wrapper so CI and developers invoke one stable path:
+
+    python3 scripts/run_analyzer.py                 # analyze src/
+    python3 scripts/run_analyzer.py selftest        # fixture self-tests
+    python3 scripts/run_analyzer.py --frontend=clang --build-dir=build run
+
+All the logic lives in tools/analyze/ (see its README.md).
+"""
+
+import os
+import sys
+
+sys.path.insert(0, os.path.join(
+    os.path.dirname(os.path.abspath(__file__)), "..", "tools", "analyze"))
+
+import driver  # noqa: E402
+
+if __name__ == "__main__":
+    sys.exit(driver.main())

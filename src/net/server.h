@@ -177,20 +177,36 @@ class Server {
   void MaybeErase(uint64_t id);
   void EraseConnection(uint64_t id);
 
-  const serve::PatternCatalog* catalog_;
-  ServerConfig config_;
+  const serve::PatternCatalog* catalog_ GS_UNGUARDED_BY_DESIGN(
+      "set in the constructor, read-only afterwards");
+  ServerConfig config_ GS_UNGUARDED_BY_DESIGN(
+      "set in the constructor, read-only afterwards");
 
-  Socket listener_;
-  Socket epoll_;    // epoll instance (RAII via Socket: it is just an fd)
-  Socket wakeup_;   // eventfd: completions + shutdown
-  uint16_t port_ = 0;
-  bool started_ = false;
+  // The fields below belong to the event-loop thread: written during
+  // Start() (before the loop exists) and from Run() itself; worker
+  // threads communicate with the loop only through completions_ and the
+  // wakeup_ eventfd, never by touching loop state directly.
+  Socket listener_ GS_UNGUARDED_BY_DESIGN("event-loop thread only");
+  // epoll instance (RAII via Socket: it is just an fd).
+  Socket epoll_ GS_UNGUARDED_BY_DESIGN("event-loop thread only");
+  // eventfd: completions + shutdown.
+  Socket wakeup_ GS_UNGUARDED_BY_DESIGN("event-loop thread only");
+  uint16_t port_ GS_UNGUARDED_BY_DESIGN(
+      "written by Start() before the loop runs") = 0;
+  bool started_ GS_UNGUARDED_BY_DESIGN(
+      "written by Start() before the loop runs") = false;
 
-  std::map<uint64_t, std::unique_ptr<Connection>> connections_;
-  uint64_t next_conn_id_ = 2;  // 0 = listener, 1 = wakeup sentinel
-  size_t inflight_total_ = 0;  // loop-thread only
-  bool drain_started_ = false;
-  double drain_deadline_seconds_ = 0.0;
+  std::map<uint64_t, std::unique_ptr<Connection>> connections_
+      GS_UNGUARDED_BY_DESIGN("event-loop thread only");
+  // 0 = listener, 1 = wakeup sentinel.
+  uint64_t next_conn_id_ GS_UNGUARDED_BY_DESIGN(
+      "event-loop thread only") = 2;
+  size_t inflight_total_ GS_UNGUARDED_BY_DESIGN(
+      "event-loop thread only") = 0;
+  bool drain_started_ GS_UNGUARDED_BY_DESIGN(
+      "event-loop thread only") = false;
+  double drain_deadline_seconds_ GS_UNGUARDED_BY_DESIGN(
+      "event-loop thread only") = 0.0;
 
   // Not a metric: this is the async-signal-safe shutdown flag, and a
   // registry lookup is not signal-safe.

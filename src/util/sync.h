@@ -61,6 +61,19 @@
 #define GS_NO_THREAD_SAFETY_ANALYSIS \
   GS_THREAD_ANNOTATION(no_thread_safety_analysis)
 
+// Marks a mutable member of a mutex-owning class as deliberately NOT
+// guarded by that mutex, with the reason inline. The semantic analyzer
+// (tools/analyze, checker `lock-coverage`) requires every non-const,
+// non-atomic member of a class that owns a util::Mutex to carry either
+// GS_GUARDED_BY or this marker, so an unprotected field is always a
+// conscious, documented decision. Typical reasons: "written in the
+// constructor before any thread exists, immutable afterwards" or
+// "owned by the event-loop thread; never touched concurrently".
+// Compiles to a Clang `annotate` attribute (visible in the AST dump the
+// analyzer reads) and to nothing under GCC.
+#define GS_UNGUARDED_BY_DESIGN(reason) \
+  GS_THREAD_ANNOTATION(annotate("gs_unguarded: " reason))
+
 namespace graphsig::util {
 
 class CondVar;

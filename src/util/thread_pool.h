@@ -69,8 +69,13 @@ class ThreadPool {
   bool TryRunTask(size_t home_index);
   bool PopTask(size_t queue_index, bool lifo, std::function<void()>* out);
 
-  std::vector<std::unique_ptr<WorkerDeque>> deques_;
-  std::vector<std::thread> workers_;
+  std::vector<std::unique_ptr<WorkerDeque>> deques_ GS_UNGUARDED_BY_DESIGN(
+      "sized in the constructor before any worker starts; the vector "
+      "itself is never resized afterwards (per-deque state is guarded "
+      "by each WorkerDeque::mutex)");
+  std::vector<std::thread> workers_ GS_UNGUARDED_BY_DESIGN(
+      "populated in the constructor, joined in the destructor; no "
+      "concurrent access in between");
   std::atomic<size_t> submit_cursor_{0};
   std::atomic<int64_t> queued_{0};  // tasks enqueued, not yet dequeued
   Mutex sleep_mutex_;
@@ -111,7 +116,7 @@ class TaskGroup {
   void RecordException();
   void WaitNoThrow();
 
-  ThreadPool* pool_;
+  ThreadPool* const pool_;
   Mutex mutex_;
   CondVar done_cv_;
   int64_t pending_ GS_GUARDED_BY(mutex_) = 0;

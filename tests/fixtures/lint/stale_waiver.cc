@@ -1,0 +1,8 @@
+// Lint fixture: a stale waiver. The line carries lint:allow=raw-mutex
+// but no longer contains anything the raw-mutex rule matches, so
+// lint.py must report stale-waiver.
+#include <cstdint>
+
+namespace fixture {
+int64_t g_counter = 0;  // lint:allow=raw-mutex
+}  // namespace fixture

@@ -1,0 +1,7 @@
+// Lint fixture: a waiver naming a rule that does not exist; lint.py
+// must report stale-waiver for the unknown name.
+#include <cstdint>
+
+namespace fixture {
+int64_t g_other = 0;  // lint:allow=no-such-rule
+}  // namespace fixture

@@ -1,0 +1,7 @@
+// Lint fixture: a waived raw-mutex violation. The waiver sits on the
+// matching line, so lint.py must accept it (no finding, not stale).
+#include <mutex>
+
+namespace fixture {
+std::mutex g_waived_mutex;  // lint:allow=raw-mutex
+}  // namespace fixture

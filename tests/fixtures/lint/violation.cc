@@ -1,0 +1,7 @@
+// Lint fixture: an unwaived raw-mutex violation (std::mutex outside
+// src/util/sync.h) that lint.py must report.
+#include <mutex>
+
+namespace fixture {
+std::mutex g_bad_mutex;
+}  // namespace fixture

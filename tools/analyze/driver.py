@@ -1,0 +1,298 @@
+"""Driver for the semantic determinism analyzer (tools/analyze).
+
+Subcommands:
+
+  run       analyze the tree (default roots: every source dir scripts/
+            lint.py covers) and report findings
+            not covered by tools/analyze/suppressions.txt. Exit 1 on any
+            unsuppressed finding OR any unused suppression (so the
+            suppression file can never go stale).
+
+  selftest  run every fixture under tools/analyze/fixtures/ through the
+            selected frontend(s) + checkers and compare against the
+            `// expect: <checker>` comments embedded in the fixtures.
+            Exit 77 when the clang frontend was requested but no clang
+            is installed (ctest maps 77 to SKIPPED).
+
+  facts     dump the extracted facts as JSON (debugging aid).
+
+Frontends:
+  --frontend=builtin   token/scope-level extractor, no compiler needed
+  --frontend=clang     `clang++ -Xclang -ast-dump=json` (precise; CI)
+  --frontend=auto      clang if installed, else builtin (default)
+
+The suppression file format is line-oriented:
+
+  <checker> <file> <key> -- <justification>
+
+Every entry must carry a justification and must match at least one
+current finding; unmatched entries fail the run.
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import sys
+from typing import Dict, List, Optional, Tuple
+
+sys.path.insert(0, os.path.dirname(os.path.abspath(__file__)))
+
+import checkers as checkers_mod  # noqa: E402
+import clang_frontend  # noqa: E402
+import cpp_frontend  # noqa: E402
+from facts import Facts, Finding  # noqa: E402
+
+EXIT_SKIP = 77  # ctest SKIP_RETURN_CODE
+
+# Same coverage as scripts/lint.py (fixtures/ dirs excluded below).
+DEFAULT_ROOTS = ["src", "tools", "tests", "bench", "examples", "fuzz"]
+
+
+def repo_root() -> str:
+    return os.path.normpath(
+        os.path.join(os.path.dirname(os.path.abspath(__file__)), "..", ".."))
+
+
+def list_sources(root: str, rel_dirs: List[str],
+                 suffixes=(".h", ".cc")) -> List[str]:
+    out: List[str] = []
+    for rel in rel_dirs:
+        base = os.path.join(root, rel)
+        for dirpath, dirnames, filenames in os.walk(base):
+            dirnames[:] = [d for d in sorted(dirnames) if d != "fixtures"]
+            for name in sorted(filenames):
+                if os.path.splitext(name)[1] in suffixes:
+                    out.append(os.path.relpath(
+                        os.path.join(dirpath, name), root))
+    return out
+
+
+# --- suppressions -----------------------------------------------------
+
+class Suppressions:
+    def __init__(self, entries: List[Tuple[str, str, str, str]]):
+        self.entries = entries  # (checker, file, key, justification)
+        self.used = [False] * len(entries)
+
+    @classmethod
+    def load(cls, path: str) -> "Suppressions":
+        entries: List[Tuple[str, str, str, str]] = []
+        if not os.path.isfile(path):
+            return cls(entries)
+        with open(path, encoding="utf-8") as fh:
+            for lineno, raw in enumerate(fh, start=1):
+                line = raw.strip()
+                if not line or line.startswith("#"):
+                    continue
+                if "--" not in line:
+                    raise SystemExit(
+                        f"{path}:{lineno}: suppression without a "
+                        f"`-- justification` clause")
+                spec, justification = line.split("--", 1)
+                justification = justification.strip()
+                if not justification:
+                    raise SystemExit(
+                        f"{path}:{lineno}: empty justification")
+                parts = spec.split()
+                if len(parts) != 3:
+                    raise SystemExit(
+                        f"{path}:{lineno}: expected "
+                        f"`<checker> <file> <key> -- <justification>`")
+                entries.append((parts[0], parts[1], parts[2], justification))
+        return cls(entries)
+
+    def matches(self, f: Finding) -> bool:
+        for i, (checker, file, key, _) in enumerate(self.entries):
+            if checker == f.checker and file == f.file and key == f.key:
+                self.used[i] = True
+                return True
+        return False
+
+    def unused(self) -> List[Tuple[str, str, str, str]]:
+        return [e for e, u in zip(self.entries, self.used) if not u]
+
+
+# --- frontends --------------------------------------------------------
+
+def run_builtin(root: str, rel_files: List[str]) -> Facts:
+    facts = Facts()
+    for rel in rel_files:
+        path = os.path.join(root, rel)
+        with open(path, encoding="utf-8") as fh:
+            text = fh.read()
+        facts.extend(cpp_frontend.extract_file(rel.replace(os.sep, "/"),
+                                               text))
+    return facts
+
+
+def run_clang(root: str, rel_files: List[str],
+              build_dir: Optional[str]) -> Facts:
+    clang = clang_frontend.find_clang()
+    if clang is None:
+        raise SystemExit("clang++ not found on PATH (needed for "
+                         "--frontend=clang)")
+    flag_map: Dict[str, List[str]] = {}
+    if build_dir:
+        flag_map = clang_frontend.flags_from_compile_commands(build_dir)
+    default_flags = ["-std=c++20", "-I" + os.path.join(root, "src")]
+    facts = Facts()
+    # Headers are analyzed through the TUs that include them; standalone
+    # headers (no including TU in the list) are parsed as TUs themselves.
+    ccs = [f for f in rel_files if f.endswith(".cc")]
+    covered_headers = set()
+    for rel in ccs:
+        ap = os.path.normpath(os.path.join(root, rel))
+        flags = flag_map.get(ap, default_flags)
+        flags = [a for a in flags if not a.startswith(("-fsanitize",
+                                                       "-fprofile"))]
+        facts.extend(clang_frontend.extract_tu(root, clang, ap, flags))
+        with open(ap, encoding="utf-8") as fh:
+            for line in fh:
+                if line.startswith("#include \""):
+                    covered_headers.add(line.split('"')[1])
+    for rel in rel_files:
+        if rel.endswith(".cc"):
+            continue
+        base = os.path.relpath(os.path.join(root, rel),
+                               os.path.join(root, "src"))
+        if base in covered_headers:
+            continue
+        ap = os.path.normpath(os.path.join(root, rel))
+        facts.extend(clang_frontend.extract_tu(
+            root, clang, ap, default_flags + ["-xc++"]))
+    return facts
+
+
+def gather(root: str, rel_files: List[str], frontend: str,
+           build_dir: Optional[str]) -> Facts:
+    if frontend == "auto":
+        frontend = "clang" if clang_frontend.find_clang() else "builtin"
+    if frontend == "clang":
+        return run_clang(root, rel_files, build_dir)
+    return run_builtin(root, rel_files)
+
+
+# --- subcommands ------------------------------------------------------
+
+def cmd_run(args: argparse.Namespace) -> int:
+    root = repo_root()
+    rel_files = list_sources(root, args.roots)
+    facts = gather(root, rel_files, args.frontend, args.build_dir)
+    findings = checkers_mod.run_checkers(facts)
+    scope = {f.replace(os.sep, "/") for f in rel_files}
+    findings = [f for f in findings if f.file in scope]
+    supp = Suppressions.load(args.suppressions or os.path.join(
+        root, "tools", "analyze", "suppressions.txt"))
+    visible = [f for f in findings if not supp.matches(f)]
+    for f in visible:
+        print(f.render())
+    status = 0
+    for checker, file, key, _ in supp.unused():
+        print(f"suppressions.txt: unused entry `{checker} {file} {key}` "
+              f"— the finding it covered no longer exists; delete it",
+              file=sys.stderr)
+        status = 1
+    print(f"analyze: {len(rel_files)} files, {len(findings)} finding(s), "
+          f"{len(findings) - len(visible)} suppressed, "
+          f"{len(visible)} reported", file=sys.stderr)
+    return 1 if visible else status
+
+
+def cmd_facts(args: argparse.Namespace) -> int:
+    root = repo_root()
+    if args.files:
+        rel_files = [os.path.relpath(os.path.abspath(f), root)
+                     for f in args.files]
+    else:
+        rel_files = list_sources(root, args.roots)
+    facts = gather(root, rel_files, args.frontend, args.build_dir)
+    print(facts.to_json())
+    return 0
+
+
+def parse_expectations(path: str) -> List[Tuple[int, str]]:
+    """(line, checker) pairs from `// expect: <checker>` comments."""
+    out: List[Tuple[int, str]] = []
+    with open(path, encoding="utf-8") as fh:
+        for lineno, line in enumerate(fh, start=1):
+            if "// expect:" in line:
+                for name in line.split("// expect:", 1)[1].split(","):
+                    name = name.strip()
+                    if name:
+                        out.append((lineno, name))
+    return out
+
+
+def cmd_selftest(args: argparse.Namespace) -> int:
+    root = repo_root()
+    fixtures_dir = os.path.join(root, "tools", "analyze", "fixtures")
+    fixtures = sorted(f for f in os.listdir(fixtures_dir)
+                      if f.endswith(".cc"))
+    if not fixtures:
+        print("selftest: no fixtures found", file=sys.stderr)
+        return 1
+    frontends = [args.frontend]
+    if args.frontend == "auto":
+        frontends = ["builtin"]
+        if clang_frontend.find_clang():
+            frontends.append("clang")
+    if frontends == ["clang"] and not clang_frontend.find_clang():
+        print("selftest: clang++ not installed; skipping", file=sys.stderr)
+        return EXIT_SKIP
+    failures = 0
+    for frontend in frontends:
+        for name in fixtures:
+            rel = os.path.join("tools", "analyze", "fixtures", name)
+            facts = gather(root, [rel], frontend, None)
+            findings = checkers_mod.run_checkers(facts)
+            got = sorted({(f.line, f.checker) for f in findings
+                          if f.file == rel.replace(os.sep, "/")})
+            want = sorted(set(parse_expectations(os.path.join(root, rel))))
+            if got != want:
+                failures += 1
+                print(f"FAIL [{frontend}] {name}:\n"
+                      f"  expected: {want}\n"
+                      f"  got:      {got}")
+                for f in findings:
+                    print(f"    {f.render()}")
+            elif args.verbose:
+                print(f"ok   [{frontend}] {name}: {len(want)} expected "
+                      f"finding(s)")
+    total = len(fixtures) * len(frontends)
+    print(f"selftest: {total - failures}/{total} fixture runs passed "
+          f"({', '.join(frontends)})", file=sys.stderr)
+    return 1 if failures else 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="run_analyzer.py",
+        description="Semantic determinism analyzer (see tools/analyze/)")
+    parser.add_argument("--frontend", choices=("auto", "builtin", "clang"),
+                        default="auto")
+    parser.add_argument("--build-dir", default=None,
+                        help="build dir containing compile_commands.json "
+                             "(clang frontend)")
+    sub = parser.add_subparsers(dest="command")
+    p_run = sub.add_parser("run", help="analyze the tree")
+    p_run.add_argument("--roots", nargs="*", default=DEFAULT_ROOTS)
+    p_run.add_argument("--suppressions", default=None)
+    p_self = sub.add_parser("selftest", help="run the fixture self-tests")
+    p_self.add_argument("--verbose", action="store_true")
+    p_facts = sub.add_parser("facts", help="dump extracted facts as JSON")
+    p_facts.add_argument("--roots", nargs="*", default=DEFAULT_ROOTS)
+    p_facts.add_argument("files", nargs="*")
+    args = parser.parse_args(argv)
+    if args.command == "selftest":
+        return cmd_selftest(args)
+    if args.command == "facts":
+        return cmd_facts(args)
+    if args.command is None:
+        args.roots = DEFAULT_ROOTS
+        args.suppressions = None
+    return cmd_run(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,34 @@
+// Fixture: arena-pod must stay silent for trivially destructible types
+// — the only thing an arena is allowed to hold.
+#include <cstdint>
+
+#include "util/arena.h"
+
+namespace fixture {
+
+struct Edge {
+  int32_t src;
+  int32_t dst;
+};
+
+void BuildArrays(graphsig::util::Arena* arena) {
+  int32_t* ids = arena->AllocateArray<int32_t>(64);
+  uint64_t* bits = arena->AllocateArray<uint64_t>(8);
+  Edge* edges = arena->AllocateArray<Edge>(16);
+  (void)ids;
+  (void)bits;
+  (void)edges;
+}
+
+void BuildOne(graphsig::util::Arena* arena) {
+  void* slot = arena->Allocate(sizeof(Edge), alignof(Edge));
+  new (slot) Edge{0, 1};
+}
+
+// Placement-new into non-arena storage is out of scope for this checker.
+void BuildOnStack() {
+  alignas(Edge) unsigned char buf[sizeof(Edge)];
+  new (buf) Edge{2, 3};
+}
+
+}  // namespace fixture

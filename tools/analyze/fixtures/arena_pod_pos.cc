@@ -1,0 +1,29 @@
+// Fixture: arena-pod MUST fire when a non-trivially-destructible type
+// is constructed into util::Arena storage — the arena never runs
+// destructors, so such objects leak their owned resources.
+//
+// Note: the positive cases use raw placement-new into Allocate();
+// AllocateArray<T> has a static_assert backstop, so a non-POD
+// AllocateArray would not even compile (see the negative fixture).
+#include <string>
+
+#include "util/arena.h"
+
+namespace fixture {
+
+struct OwnsHeap {
+  ~OwnsHeap();  // user-provided destructor: never runs for arena objects
+  int* data;
+};
+
+void BuildString(graphsig::util::Arena* arena) {
+  void* slot = arena->Allocate(sizeof(std::string), alignof(std::string));
+  new (slot) std::string("leaked");  // expect: arena-pod
+}
+
+void BuildOwner(graphsig::util::Arena* arena) {
+  void* slot = arena->Allocate(sizeof(OwnsHeap), alignof(OwnsHeap));
+  new (slot) OwnsHeap{nullptr};  // expect: arena-pod
+}
+
+}  // namespace fixture

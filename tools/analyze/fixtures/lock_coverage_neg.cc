@@ -1,0 +1,33 @@
+// Fixture: lock-coverage must stay silent when every mutable member of
+// a Mutex-owning class is either guarded, explicitly marked unguarded
+// by design, const, atomic, or itself a synchronization primitive —
+// and for classes that own no mutex at all.
+#include <atomic>
+#include <cstdint>
+#include <string>
+
+#include "util/sync.h"
+
+namespace fixture {
+
+class Coordinator {
+ public:
+  void Touch();
+
+ private:
+  graphsig::util::Mutex mu_;
+  graphsig::util::CondVar cv_;
+  int64_t epoch_ GS_GUARDED_BY(mu_) = 0;
+  std::string name_ GS_UNGUARDED_BY_DESIGN(
+      "written once in the constructor, read-only afterwards");
+  const int64_t capacity_ = 128;
+  std::atomic<uint64_t> fast_count_{0};
+};
+
+// No mutex: plain members need no annotation.
+struct Stats {
+  int64_t hits = 0;
+  int64_t misses = 0;
+};
+
+}  // namespace fixture

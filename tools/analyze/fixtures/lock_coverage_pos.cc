@@ -1,0 +1,22 @@
+// Fixture: lock-coverage MUST fire for mutable members of a
+// Mutex-owning class that carry neither GS_GUARDED_BY nor
+// GS_UNGUARDED_BY_DESIGN.
+#include <cstdint>
+#include <string>
+
+#include "util/sync.h"
+
+namespace fixture {
+
+class Tally {
+ public:
+  void Add(int64_t n);
+
+ private:
+  graphsig::util::Mutex mu_;
+  int64_t total_ GS_GUARDED_BY(mu_) = 0;
+  int64_t dropped_ = 0;  // expect: lock-coverage
+  std::string last_error_;  // expect: lock-coverage
+};
+
+}  // namespace fixture

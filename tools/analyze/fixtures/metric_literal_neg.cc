@@ -1,0 +1,32 @@
+// Fixture: metric-literal must stay silent for string-literal names —
+// including adjacent-literal concatenation — and for non-metric calls
+// that take runtime strings.
+#include <string>
+
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
+namespace fixture {
+
+void RecordLiterals() {
+  auto& reg = graphsig::obs::MetricsRegistry::Global();
+  reg.GetCounter("mine.fixture.events")->Increment();
+  reg.GetAdvisoryCounter("mine.fixture.hits")->Add(3);
+  reg.GetGauge("serve.fixture.depth")->Set(2);
+  reg.GetCounter(
+      "mine.fixture."
+      "concatenated")
+      ->Increment();
+}
+
+void TraceLiteralSpan() {
+  GS_TRACE_SPAN("fixture/literal_span");
+  GS_TRACE_SPAN_NAMED(inner, "fixture/inner_span");
+}
+
+// A non-metric function taking a runtime string is not a finding.
+std::string Describe(const std::string& base) {
+  return base + "/suffix";
+}
+
+}  // namespace fixture

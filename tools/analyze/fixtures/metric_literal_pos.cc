@@ -1,0 +1,24 @@
+// Fixture: metric-literal MUST fire when a metrics-registry name or a
+// trace-span path is built at runtime — dynamic names defeat the
+// stable-inventory contract (DESIGN.md §12).
+#include <string>
+
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
+namespace fixture {
+
+void RecordDynamicCounter(const std::string& name) {
+  graphsig::obs::MetricsRegistry::Global().GetCounter(name)->Increment();  // expect: metric-literal
+}
+
+void RecordComposedGauge(const std::string& shard) {
+  std::string name = "serve.shard." + shard;
+  graphsig::obs::MetricsRegistry::Global().GetGauge(name)->Set(1);  // expect: metric-literal
+}
+
+void TraceDynamicSpan(const char* phase) {
+  GS_TRACE_SPAN(phase);  // expect: metric-literal
+}
+
+}  // namespace fixture

@@ -1,0 +1,36 @@
+// Fixture: pointer-key-order must stay silent when the predicate keys
+// on pointee state, and when a pointer-keyed container carries a custom
+// (value-based) comparator.
+#include <algorithm>
+#include <set>
+#include <vector>
+
+namespace fixture {
+
+struct Item {
+  int weight;
+  int id;
+};
+
+struct ByWeightThenId {
+  bool operator()(const Item* a, const Item* b) const {
+    if (a->weight != b->weight) return a->weight < b->weight;
+    return a->id < b->id;
+  }
+};
+
+// Comparator dereferences: keyed on values, not addresses.
+void SortByWeight(std::vector<const Item*>* items) {
+  std::sort(items->begin(), items->end(),
+            [](const Item* a, const Item* b) {
+              return a->weight < b->weight;
+            });
+}
+
+// Pointer-keyed set with an explicit value-based comparator.
+std::set<Item*, ByWeightThenId> g_ranked;
+
+// Value-keyed set: nothing pointer-ish about it.
+std::set<int> g_ids;
+
+}  // namespace fixture

@@ -1,0 +1,25 @@
+// Fixture: pointer-key-order MUST fire when ordering is keyed on
+// pointer values — sort predicates comparing addresses and ordered
+// containers with pointer keys under the default comparator.
+#include <algorithm>
+#include <set>
+#include <vector>
+
+namespace fixture {
+
+struct Item {
+  int weight;
+};
+
+// Comparator keyed on the pointer values themselves: the resulting
+// order depends on where the allocator placed the objects.
+void SortByAddress(std::vector<const Item*>* items) {
+  std::sort(items->begin(), items->end(),  // expect: pointer-key-order
+            [](const Item* a, const Item* b) { return a < b; });
+}
+
+// Ordered set keyed on pointers with std::less<Item*>: iteration order
+// is allocation order.
+std::set<Item*> g_seen;  // expect: pointer-key-order
+
+}  // namespace fixture

@@ -1,0 +1,45 @@
+// Fixture: unordered-order must stay silent for the allowlisted body
+// shapes — commutative accumulation and drains into sorted containers —
+// and for iteration over ordered containers.
+#include <cstdint>
+#include <map>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+namespace fixture {
+
+// Commutative accumulation: any iteration order yields the same sum.
+int64_t Total(const std::unordered_map<int, int>& m) {
+  int64_t total = 0;
+  for (const auto& kv : m) {
+    total += kv.second;
+  }
+  return total;
+}
+
+// Draining into a sorted container: output order is the map's, not the
+// hash table's.
+void Drain(const std::unordered_map<int, int>& m, std::map<int, int>* out) {
+  for (const auto& kv : m) {
+    out->insert(kv);
+  }
+}
+
+// Guarded commutative accumulation stays commutative.
+int64_t CountLarge(const std::unordered_set<int>& s) {
+  int64_t n = 0;
+  for (int v : s) {
+    if (v > 100) ++n;
+  }
+  return n;
+}
+
+// Ordered container: iteration order is deterministic to begin with.
+void EmitOrdered(const std::map<int, int>& m, std::vector<int>* out) {
+  for (const auto& kv : m) {
+    out->push_back(kv.first);
+  }
+}
+
+}  // namespace fixture

@@ -1,0 +1,36 @@
+// Fixture: unordered-order MUST fire when hash-table iteration order
+// escapes into an ordered sink. Both frontends must agree.
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace fixture {
+
+// Range-for over an unordered map appending to a vector: the output
+// order is the hash-table order.
+void EmitKeys(const std::unordered_map<int, int>& m, std::vector<int>* out) {
+  for (const auto& kv : m) {  // expect: unordered-order
+    out->push_back(kv.first);
+  }
+}
+
+// Iterator-form loop with the same escape.
+void EmitValues(const std::unordered_map<int, int>& m,
+                std::vector<int>* out) {
+  for (auto it = m.begin(); it != m.end(); ++it) {  // expect: unordered-order
+    out->push_back(it->second);
+  }
+}
+
+// Mixed body: one commutative statement does not excuse the escaping one.
+int64_t SumAndEmit(const std::unordered_map<int, int>& m, std::string* log) {
+  int64_t total = 0;
+  for (const auto& kv : m) {  // expect: unordered-order
+    total += kv.second;
+    log->append("x");
+  }
+  return total;
+}
+
+}  // namespace fixture
