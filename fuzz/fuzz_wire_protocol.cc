@@ -75,9 +75,10 @@ void FuzzTypedDecoders(const wire::Frame& frame) {
     case wire::MessageType::kStatsReply: {
       auto stats = wire::DecodeStatsReply(payload);
       if (stats.ok()) {
-        // Both encodings are canonical (the v2 counter section is
-        // omitted entirely when empty), so decode must invert encode
-        // byte-for-byte across versions.
+        // All encodings are canonical (the v2 counter section is omitted
+        // entirely when empty; the v4 generation trailer only ever rides
+        // behind a non-empty counter section), so decode must invert
+        // encode byte-for-byte across versions.
         GS_CHECK(wire::EncodeStatsReply(stats.value()) == payload);
         auto again =
             wire::DecodeStatsReply(wire::EncodeStatsReply(stats.value()));
@@ -85,6 +86,9 @@ void FuzzTypedDecoders(const wire::Frame& frame) {
         GS_CHECK_EQ(again.value().requests_served,
                     stats.value().requests_served);
         GS_CHECK(again.value().work_counters == stats.value().work_counters);
+        GS_CHECK(again.value().has_generation ==
+                 stats.value().has_generation);
+        GS_CHECK_EQ(again.value().generation, stats.value().generation);
       }
       break;
     }

@@ -13,6 +13,7 @@
 #include <fstream>
 #include <sstream>
 #include <string>
+#include <vector>
 
 #include "data/datasets.h"
 #include "data/molfile.h"
@@ -21,6 +22,8 @@
 #include "graph/serialize.h"
 #include "model/artifact.h"
 #include "net/wire.h"
+#include "stream/incremental.h"
+#include "stream/ingest_log.h"
 #include "util/binary.h"
 #include "util/check.h"
 
@@ -58,6 +61,7 @@ int main(int argc, char** argv) {
   std::filesystem::create_directories(root / "artifact");
   std::filesystem::create_directories(root / "chem");
   std::filesystem::create_directories(root / "wire");
+  std::filesystem::create_directories(root / "ingest_log");
 
   const GraphDatabase db = SmallScreen(6, 1);
 
@@ -232,6 +236,60 @@ int main(int argc, char** argv) {
                    reply_frame.substr(0, 9));
     WriteFileOrDie(root / "wire" / "truncated_payload.bin",
                    reply_frame.substr(0, reply_frame.size() - 3));
+    // v4 stats shapes: the versioned request and a reply whose counter
+    // section carries the trailing catalog-generation field.
+    wire::StatsRequest stats_v4;
+    stats_v4.version = wire::kStatsGenerationWireVersion;
+    WriteFileOrDie(
+        root / "wire" / "stats_v4.bin",
+        wire::EncodeFrame(wire::MessageType::kStats,
+                          wire::EncodeStatsRequest(stats_v4),
+                          wire::kStatsGenerationWireVersion));
+    wire::StatsReply stats_with_generation = stats_with_counters;
+    stats_with_generation.has_generation = true;
+    stats_with_generation.generation = 7;
+    WriteFileOrDie(
+        root / "wire" / "stats_reply_v4.bin",
+        wire::EncodeFrame(
+            wire::MessageType::kStatsReply,
+            wire::EncodeStatsReply(stats_with_generation),
+            wire::StatsReplyWireVersion(stats_with_generation)));
+  }
+
+  // ingest_log: a valid streaming log (two batches + a real mine-state
+  // checkpoint, CRCs intact so mutations reach the payload decoders),
+  // an empty log, and a torn tail the decoder must recover from.
+  {
+    namespace stream = graphsig::stream;
+    graphsig::util::ByteWriter header;
+    header.WriteBytes(std::string_view(stream::kLogMagic, 8));
+    header.WriteU32(stream::kLogFormatVersion);
+
+    const GraphDatabase more = SmallScreen(4, 2);
+    std::vector<Graph> batch1(db.graphs().begin(), db.graphs().end());
+    std::vector<Graph> batch2(more.graphs().begin(), more.graphs().end());
+
+    // A real checkpoint: mine the first batch incrementally so the
+    // checkpoint bytes are exactly what IncrementalMiner::Restore eats.
+    graphsig::core::GraphSigConfig config;
+    config.cutoff_radius = 2;
+    config.min_freq_percent = 10.0;
+    config.fsm_max_edges = 6;
+    stream::IncrementalMiner miner(config);
+    GraphDatabase db1;
+    for (const Graph& g : batch1) db1.Add(g);
+    std::vector<uint64_t> generations(batch1.size(), 1);
+    (void)miner.Mine(db1, generations, 1);
+
+    const std::string full = header.buffer() +
+                             stream::EncodeBatchRecord(1, batch1) +
+                             stream::EncodeCheckpointRecord(
+                                 1, miner.Checkpoint()) +
+                             stream::EncodeBatchRecord(2, batch2);
+    WriteFileOrDie(root / "ingest_log" / "log_small.bin", full);
+    WriteFileOrDie(root / "ingest_log" / "log_empty.bin", header.buffer());
+    WriteFileOrDie(root / "ingest_log" / "log_torn.bin",
+                   full.substr(0, full.size() - 5));
   }
   return 0;
 }

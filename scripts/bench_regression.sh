@@ -52,6 +52,24 @@ trap cleanup EXIT
 "$BUILD/bench/bench_micro_kernels" \
   --counters-out="$WORK/micro_metrics.json" >/dev/null
 
+# --- Phase 1b: streaming ingest (seeded append workload) --------------
+# Append two seeded batches to a fresh log and mine after each; the
+# second mine restores the first's checkpoint, so the stream/* reuse
+# accounting (graphs replayed vs featurized, groups re-mined, log
+# records) gates here alongside the mining counters. Byte-identity of
+# the incremental artifact against a cold re-mine is tier-1
+# (tests/stream_test.cc); this phase pins the work the shortcut saves.
+"$BUILD/tools/graphsig_datagen" --screen=MCF-7 --size=40 --seed=5 \
+  --active-fraction=0.3 --output="$WORK/batch1.smi" >/dev/null
+"$BUILD/tools/graphsig_datagen" --screen=MCF-7 --size=20 --seed=6 \
+  --active-fraction=0.3 --output="$WORK/batch2.smi" >/dev/null
+
+"$BUILD/tools/graphsig_ingest" --log="$WORK/stream.gsl" \
+  --append="$WORK/batch1.smi" --mine --radius=4 --threads=2 >/dev/null
+"$BUILD/tools/graphsig_ingest" --log="$WORK/stream.gsl" \
+  --append="$WORK/batch2.smi" --mine --tarone-alpha=0.05 --radius=4 \
+  --threads=2 --metrics-out="$WORK/ingest_metrics.json" >/dev/null
+
 # --- Phase 2: serve the indexed model, replay a seeded query load -----
 "$BUILD/tools/graphsig_index" --input="$WORK/screen.smi" \
   --output="$WORK/model.gsig" --radius=4 --threads=2 >/dev/null
@@ -92,7 +110,8 @@ if [ -n "${BENCH_ARTIFACT_DIR:-}" ]; then
   mkdir -p "$BENCH_ARTIFACT_DIR"
   cp "$WORK/mine_metrics.json" "$WORK/sample_metrics.json" \
      "$WORK/serve_metrics.json" "$WORK/micro_metrics.json" \
-     "$WORK/loadgen.json" "$BENCH_ARTIFACT_DIR/"
+     "$WORK/ingest_metrics.json" "$WORK/loadgen.json" \
+     "$BENCH_ARTIFACT_DIR/"
 fi
 
 # --- Phase 3: gate on the deterministic counters ----------------------
@@ -100,10 +119,12 @@ if [ "$MODE" = "--refresh" ]; then
   python3 "$REPO/scripts/check_counters.py" --refresh \
     --baseline="$BASELINE" \
     mine="$WORK/mine_metrics.json" sample="$WORK/sample_metrics.json" \
-    serve="$WORK/serve_metrics.json" micro="$WORK/micro_metrics.json"
+    serve="$WORK/serve_metrics.json" micro="$WORK/micro_metrics.json" \
+    ingest="$WORK/ingest_metrics.json"
 else
   python3 "$REPO/scripts/check_counters.py" \
     --baseline="$BASELINE" \
     mine="$WORK/mine_metrics.json" sample="$WORK/sample_metrics.json" \
-    serve="$WORK/serve_metrics.json" micro="$WORK/micro_metrics.json"
+    serve="$WORK/serve_metrics.json" micro="$WORK/micro_metrics.json" \
+    ingest="$WORK/ingest_metrics.json"
 fi

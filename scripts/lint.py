@@ -49,6 +49,19 @@ Rules (each can be waived on one line with a `lint:allow=<rule>` comment):
                 features::PackedVectorSet (word-parallel kernels) or
                 index spans over a contiguous std::vector<FeatureVec>.
 
+  metric-name-literal  MetricsRegistry registration (GetCounter /
+                GetAdvisoryCounter / GetGauge / GetHistogram / GetSpan)
+                whose name argument is not a string literal, in src/
+                outside src/obs/. The name is the metric's identity
+                (DESIGN.md §12): a computed name forks the namespace at
+                runtime, breaks the grep-able counter inventory, and
+                desyncs the bench-regression baseline. The obs replay
+                machinery (src/obs/work_capture.cc restoring captured
+                names, the trace-span macro) is the sanctioned
+                exception. The semantic analyzer's `metric-literal`
+                checker proves the same property on the AST; this rule
+                is its dependency-free line-level mirror.
+
   raw-std-random  <random> engines/distributions (std::mt19937,
                 std::random_device, std::*_distribution, ...) anywhere
                 outside src/util/. All randomness flows through
@@ -149,6 +162,22 @@ RULES = [
         "pointer-vector feature populations are retired; use "
         "features::PackedVectorSet (src/features/packed_vector_set.h) or "
         "index spans over a contiguous std::vector<FeatureVec>",
+    ),
+    (
+        # After strip_strings a literal argument still starts with its
+        # quote character, so only identifier-led arguments (variables,
+        # expressions) match. A call whose literal sits on the next line
+        # leaves nothing after the '(' — also a pass.
+        "metric-name-literal",
+        re.compile(
+            r"Get(Counter|AdvisoryCounter|Gauge|Histogram|Span)"
+            r"\s*\(\s*[A-Za-z_]"
+        ),
+        lambda rel: rel.parts[0] == "src"
+        and rel.parts[:2] != ("src", "obs"),
+        "register metrics with a string-literal name (the name is the "
+        "identity, DESIGN.md §12); computed names fork the namespace — "
+        "the replay machinery in src/obs/ is the only exception",
     ),
     (
         "raw-std-random",

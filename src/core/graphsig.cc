@@ -1,20 +1,13 @@
 #include "core/graphsig.h"
 
 #include <algorithm>
-#include <cmath>
 #include <map>
 #include <string>
-#include <unordered_map>
+#include <utility>
 
-#include "features/packed_vector_set.h"
-#include "fsm/dfs_code.h"
-#include "fsm/maximal.h"
-#include "fsm/miner.h"
-#include "graph/isomorphism.h"
-#include "obs/metrics.h"
+#include "core/mine_pipeline.h"
 #include "obs/trace.h"
-#include "stats/pvalue_model.h"
-#include "util/check.h"
+#include "stream/tarone.h"
 #include "util/parallel.h"
 #include "util/timer.h"
 
@@ -57,58 +50,45 @@ FeaturePhaseOutput RunFeaturePhase(const GraphSigConfig& config,
   timer.Restart();
   GS_TRACE_SPAN_NAMED(feature_span, "mine/feature");
   // Group by anchor label (line 6) and run FVMine per group (line 7).
-  std::map<Label, std::vector<int32_t>> groups;
-  for (size_t i = 0; i < out.node_vectors.size(); ++i) {
-    groups[out.node_vectors[i].node_label].push_back(
-        static_cast<int32_t>(i));
-  }
+  const auto groups = pipeline::GroupByAnchorLabel(out.node_vectors);
   out.stats.num_groups = static_cast<int64_t>(groups.size());
 
   // Groups are independent minings, so they fan out over the pool; each
   // writes its own slot and the slots concatenate in label order below,
   // making the output identical for any thread count.
-  std::vector<const std::vector<int32_t>*> group_members;
-  std::vector<Label> group_labels;
-  group_members.reserve(groups.size());
-  group_labels.reserve(groups.size());
-  for (const auto& [label, member_indices] : groups) {
-    group_labels.push_back(label);
-    group_members.push_back(&member_indices);
-  }
-  std::vector<std::vector<fvmine::SignificantVector>> per_group(
-      groups.size());
+  std::vector<pipeline::GroupMineOutput> per_group(groups.size());
   util::ParallelFor(config.num_threads, groups.size(), [&](size_t g) {
-    const std::vector<int32_t>& member_indices = *group_members[g];
-    // Group-relative frequency threshold (see GraphSigConfig).
-    const int64_t min_support = std::max<int64_t>(
-        config.min_support_floor,
-        static_cast<int64_t>(std::ceil(config.min_freq_percent / 100.0 *
-                                       member_indices.size())));
-    if (static_cast<int64_t>(member_indices.size()) < min_support) return;
-    features::PackedVectorSet population(
-        out.node_vectors[member_indices[0]].values.size());
-    population.Reserve(member_indices.size());
-    for (int32_t idx : member_indices) {
-      population.Add(out.node_vectors[idx].values);
-    }
-    stats::FeaturePriors priors(population, config.rwr.bins);
-    fvmine::FvMineConfig fv_config;
-    fv_config.min_support = min_support;
-    fv_config.max_pvalue = config.max_pvalue;
-    fv_config.max_results = config.fvmine_max_results;
-    fv_config.budget_seconds = config.fvmine_budget_seconds;
-    fv_config.use_ceiling_prune = config.use_ceiling_prune;
-    fvmine::FvMineResult mined = fvmine::FvMine(population, priors, fv_config);
-    for (fvmine::SignificantVector& sv : mined.vectors) {
-      for (int32_t& idx : sv.supporting) idx = member_indices[idx];
-      per_group[g].push_back(std::move(sv));
-    }
+    per_group[g] =
+        pipeline::MineLabelGroup(config, out.node_vectors, groups[g].second);
   });
   for (size_t g = 0; g < per_group.size(); ++g) {
-    for (fvmine::SignificantVector& sv : per_group[g]) {
-      out.significant.emplace_back(group_labels[g], std::move(sv));
+    for (fvmine::SignificantVector& sv : per_group[g].vectors) {
+      out.significant.emplace_back(groups[g].first, std::move(sv));
     }
   }
+
+  if (config.tarone_alpha > 0.0) {
+    // Solve for the family-wise threshold over the psis of every state
+    // FVMine evaluated, concatenated in group-label order, then keep
+    // only candidates that clear delta* (stream/tarone.h).
+    std::vector<double> psis;
+    for (const pipeline::GroupMineOutput& group : per_group) {
+      psis.insert(psis.end(), group.psis.begin(), group.psis.end());
+    }
+    const stream::TaroneResult tarone =
+        stream::TaroneThreshold::Compute(std::move(psis),
+                                         config.tarone_alpha);
+    const size_t candidates = out.significant.size();
+    std::erase_if(out.significant, [&](const auto& entry) {
+      return entry.second.p_value > tarone.delta_star;
+    });
+    out.stats.tarone_delta_star = tarone.delta_star;
+    out.stats.tarone_family_size =
+        static_cast<int64_t>(tarone.family_size);
+    out.stats.tarone_filtered_vectors =
+        static_cast<int64_t>(candidates - out.significant.size());
+  }
+
   out.stats.num_significant_vectors =
       static_cast<int64_t>(out.significant.size());
   feature_span.AddWork(out.significant.size());
@@ -159,163 +139,57 @@ GraphSigResult GraphSig::Mine(const GraphDatabase& db) const {
   // subgraph would otherwise be recomputed once per selecting vector;
   // the cache computes each cut exactly once (radius is fixed per run,
   // so (graph_index, node) identifies a cut).
-  struct VectorTask {
-    Label label;
-    const fvmine::SignificantVector* sv;
-    std::vector<int32_t> chosen;  // node-vector indices after subsampling
-  };
-  std::vector<VectorTask> tasks;
-  std::unordered_map<int64_t, int32_t> cut_slot;  // cut key -> cache slot
-  std::vector<int32_t> cut_owner;  // slot -> node-vector index to cut at
-  const auto cut_key = [](int32_t graph_index, graph::VertexId node) {
-    return (static_cast<int64_t>(graph_index) << 32) |
-           static_cast<int64_t>(static_cast<uint32_t>(node));
-  };
-  for (const auto& [label, sv] : phase.significant) {
-    if (sv.supporting.size() < config_.min_set_size) continue;
-    VectorTask task;
-    task.label = label;
-    task.sv = &sv;
-    // Evenly subsample oversized sets (see max_regions_per_set).
-    if (sv.supporting.size() > config_.max_regions_per_set) {
-      task.chosen.reserve(config_.max_regions_per_set);
-      const double stride = static_cast<double>(sv.supporting.size()) /
-                            static_cast<double>(config_.max_regions_per_set);
-      for (size_t k = 0; k < config_.max_regions_per_set; ++k) {
-        task.chosen.push_back(sv.supporting[static_cast<size_t>(k * stride)]);
-      }
-    } else {
-      task.chosen = sv.supporting;
-    }
-    for (int32_t vector_index : task.chosen) {
-      const NodeVector& nv = phase.node_vectors[vector_index];
-      if (cut_slot
-              .emplace(cut_key(nv.graph_index, nv.node),
-                       static_cast<int32_t>(cut_owner.size()))
-              .second) {
-        cut_owner.push_back(vector_index);
-      }
-    }
-    result.stats.num_region_requests +=
-        static_cast<int64_t>(task.chosen.size());
-    tasks.push_back(std::move(task));
-  }
-  result.stats.num_unique_regions = static_cast<int64_t>(cut_owner.size());
-  // Cache accounting: every request beyond the first for a (graph, node)
-  // cut is a hit. Both totals fall out of the serial pass 1, so they are
-  // deterministic work counters (DESIGN.md §12).
-  {
-    auto& registry = obs::MetricsRegistry::Global();
-    static obs::Counter* const cache_hits =
-        registry.GetCounter("mine/region_cache_hits");
-    static obs::Counter* const cache_misses =
-        registry.GetCounter("mine/region_cache_misses");
-    cache_hits->Add(static_cast<uint64_t>(result.stats.num_region_requests -
-                                          result.stats.num_unique_regions));
-    cache_misses->Add(
-        static_cast<uint64_t>(result.stats.num_unique_regions));
-  }
+  pipeline::RegionPlan plan =
+      pipeline::PlanRegionTasks(config_, phase.significant,
+                                phase.node_vectors);
+  result.stats.num_region_requests = plan.num_region_requests;
+  result.stats.num_unique_regions = plan.num_unique_regions;
 
   // Pass 2: compute each distinct cut once, in parallel (each slot is
   // written by exactly one task; the cut is a pure function of its key).
-  std::vector<graph::Graph> cuts(cut_owner.size());
-  util::ParallelFor(config_.num_threads, cut_owner.size(), [&](size_t i) {
-    const NodeVector& nv = phase.node_vectors[cut_owner[i]];
-    const graph::Graph& host = db.graph(nv.graph_index);
-    graph::Graph cut = host.InducedSubgraph(
-        host.VerticesWithinRadius(nv.node, config_.cutoff_radius));
-    cut.set_id(nv.graph_index);
-    cuts[i] = std::move(cut);
-  });
+  std::vector<graph::Graph> cuts(plan.cut_owner.size());
+  util::ParallelFor(
+      config_.num_threads, plan.cut_owner.size(), [&](size_t i) {
+        const NodeVector& nv = phase.node_vectors[plan.cut_owner[i]];
+        cuts[i] = pipeline::CutRegion(db.graph(nv.graph_index),
+                                      nv.graph_index, nv.node,
+                                      config_.cutoff_radius);
+      });
 
-  // Pass 3: mine every region set as a pool task. `cut_slot` and `cuts`
-  // are read-only from here on.
-  struct TaskOutput {
-    std::map<std::string, SignificantSubgraph> dedup;  // canonical -> best
-    bool filtered = false;
-  };
-  std::vector<TaskOutput> outputs(tasks.size());
-  util::ParallelFor(config_.num_threads, tasks.size(), [&](size_t t) {
-    const VectorTask& task = tasks[t];
-    const fvmine::SignificantVector& sv = *task.sv;
-    GraphDatabase regions;
-    regions.Reserve(task.chosen.size());
-    for (int32_t vector_index : task.chosen) {
-      const NodeVector& nv = phase.node_vectors[vector_index];
-      regions.Add(
-          cuts[cut_slot.at(cut_key(nv.graph_index, nv.node))]);
-    }
-
-    fsm::MinerConfig miner_config;
-    miner_config.min_support = std::max<int64_t>(
-        2, fsm::SupportFromPercent(config_.fsg_freq_percent,
-                                   regions.size()));
-    miner_config.max_edges = config_.fsm_max_edges;
-    miner_config.max_patterns = config_.fsm_max_patterns;
-    fsm::MineResult mined = fsm::MineMaximalGSpan(regions, miner_config);
-    if (mined.patterns.empty()) {
-      // False positive: similar vectors, no common structure (the line-13
-      // pruning the paper describes).
-      outputs[t].filtered = true;
-      return;
-    }
-
-    for (const fsm::Pattern& pattern : mined.patterns) {
-      if (pattern.graph.num_edges() < 1) continue;
-      SignificantSubgraph candidate;
-      candidate.subgraph = pattern.graph;
-      candidate.vector = sv.vector;
-      candidate.vector_pvalue = sv.p_value;
-      candidate.vector_support = sv.support;
-      candidate.anchor_label = task.label;
-      candidate.set_size = static_cast<int64_t>(regions.size());
-      candidate.set_support = pattern.support;
-      outputs[t].dedup.emplace(fsm::CanonicalCode(pattern.graph),
-                               std::move(candidate));
-    }
-  });
+  // Pass 3: mine every region set as a pool task. `plan` and `cuts` are
+  // read-only from here on.
+  std::vector<pipeline::RegionTaskOutput> outputs(plan.tasks.size());
+  util::ParallelFor(
+      config_.num_threads, plan.tasks.size(), [&](size_t t) {
+        const pipeline::RegionTask& task = plan.tasks[t];
+        const fvmine::SignificantVector& sv =
+            phase.significant[task.sv_index].second;
+        GraphDatabase regions;
+        regions.Reserve(task.chosen.size());
+        for (int32_t vector_index : task.chosen) {
+          const NodeVector& nv = phase.node_vectors[vector_index];
+          regions.Add(cuts[plan.cut_slot.at(
+              pipeline::RegionCutKey(nv.graph_index, nv.node))]);
+        }
+        outputs[t] =
+            pipeline::MineRegionTask(config_, task.label, sv, regions);
+      });
 
   // Deterministic merge: task order is significant-vector order, and the
   // better-candidate rule matches the old serial loop, so ties resolve
   // identically regardless of which worker mined what.
   std::map<std::string, SignificantSubgraph> dedup;  // canonical -> best
   for (size_t t = 0; t < outputs.size(); ++t) {
-    ++result.stats.num_sets_mined;
-    if (outputs[t].filtered) ++result.stats.num_sets_filtered;
-    for (auto& [key, candidate] : outputs[t].dedup) {
-      auto it = dedup.find(key);
-      if (it == dedup.end()) {
-        dedup.emplace(key, std::move(candidate));
-      } else if (candidate.vector_pvalue < it->second.vector_pvalue ||
-                 (candidate.vector_pvalue == it->second.vector_pvalue &&
-                  candidate.set_support > it->second.set_support)) {
-        it->second = std::move(candidate);
-      }
-    }
+    pipeline::MergeRegionOutput(std::move(outputs[t]), &dedup,
+                                &result.stats);
   }
 
   result.subgraphs.reserve(dedup.size());
   for (auto& [key, subgraph] : dedup) {
     result.subgraphs.push_back(std::move(subgraph));
   }
-  if (config_.compute_db_frequency) {
-    util::ParallelFor(
-        config_.num_threads, result.subgraphs.size(), [&](size_t i) {
-          SignificantSubgraph& sg = result.subgraphs[i];
-          int64_t frequency = 0;
-          for (const graph::Graph& g : db.graphs()) {
-            if (graph::IsSubgraphIsomorphic(sg.subgraph, g)) ++frequency;
-          }
-          sg.db_frequency = frequency;
-        });
-  }
-  std::sort(result.subgraphs.begin(), result.subgraphs.end(),
-            [](const SignificantSubgraph& a, const SignificantSubgraph& b) {
-              if (a.vector_pvalue != b.vector_pvalue) {
-                return a.vector_pvalue < b.vector_pvalue;
-              }
-              return a.subgraph.num_edges() > b.subgraph.num_edges();
-            });
+  pipeline::ComputeDbFrequencies(config_, db, &result.subgraphs);
+  pipeline::SortBySignificance(&result.subgraphs);
 
   fsm_span.AddWork(static_cast<uint64_t>(result.stats.num_sets_mined));
   result.profile.fsm_seconds = fsm_timer.ElapsedSeconds();

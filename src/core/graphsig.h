@@ -57,6 +57,13 @@ struct GraphSigConfig {
   double fvmine_budget_seconds = std::numeric_limits<double>::infinity();
   bool use_ceiling_prune = true;
 
+  // Family-wise error control (stream/tarone.h): > 0 runs FVMine in
+  // Tarone testability mode at this alpha and keeps only vectors whose
+  // p-value clears the solved threshold delta* <= alpha. 0 (default)
+  // preserves the paper's uncorrected per-vector test — and the
+  // pre-existing counter baseline.
+  double tarone_alpha = 0.0;
+
   // Worker threads for every pipeline phase: RWR featurization,
   // per-label-group FVMine, region cutting, and per-vector graph-space
   // mining (1 = serial). Output is bit-identical for any value — each
@@ -103,6 +110,12 @@ struct GraphSigStats {
   // is the dedup factor the cache buys.
   int64_t num_region_requests = 0;
   int64_t num_unique_regions = 0;
+  // Tarone mode only (tarone_alpha > 0): the solved family-wise
+  // threshold delta* = alpha / k_T, the family size N (candidate states
+  // across all groups), and how many candidates delta* filtered out.
+  double tarone_delta_star = 0.0;
+  int64_t tarone_family_size = 0;
+  int64_t tarone_filtered_vectors = 0;
 };
 
 struct GraphSigResult {

@@ -1,0 +1,118 @@
+#ifndef GRAPHSIG_CORE_MINE_PIPELINE_H_
+#define GRAPHSIG_CORE_MINE_PIPELINE_H_
+
+// The GraphSig mining pipeline, decomposed into its deterministic units
+// of work. core::GraphSig::Mine composes these into the cold full mine
+// of Algorithm 2; stream::IncrementalMiner composes the *same*
+// functions per unit so it can cache a unit's output (plus its captured
+// work-counter delta, obs/work_capture.h) and replay it instead of
+// recomputing — which is what makes an incremental mine byte-identical,
+// artifact and counter dump both, to a cold re-mine of the final
+// database.
+//
+// Every function here is a pure function of its arguments (plus the
+// deterministic work counters it bumps); none touches global state
+// other than the metrics registry. Units that run inside ParallelFor
+// tasks (MineLabelGroup, CutRegion, MineRegionTask) are internally
+// single-threaded, which is what makes their metric writes capturable
+// per unit.
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "core/graphsig.h"
+#include "features/feature_vector.h"
+#include "fvmine/fvmine.h"
+#include "graph/graph_database.h"
+
+namespace graphsig::core::pipeline {
+
+// Node-vector indices per anchor label, in ascending label order (the
+// line-6 grouping; label order is the deterministic merge order for
+// everything downstream).
+std::vector<std::pair<graph::Label, std::vector<int32_t>>>
+GroupByAnchorLabel(const std::vector<features::NodeVector>& node_vectors);
+
+struct GroupMineOutput {
+  // Significant closed sub-feature vectors, supporting lists re-based
+  // to indices into the full node-vector array.
+  std::vector<fvmine::SignificantVector> vectors;
+  // Tarone mode only: the group's testability statistics in DFS order.
+  std::vector<double> psis;
+};
+
+// Priors + FVMine over one anchor-label group (Algorithm 2 line 7).
+// Returns empty output for groups below the support threshold.
+GroupMineOutput MineLabelGroup(
+    const GraphSigConfig& config,
+    const std::vector<features::NodeVector>& node_vectors,
+    const std::vector<int32_t>& members);
+
+// One graph-space mining task: a significant vector and the node-vector
+// indices (after even subsampling) whose regions it selects.
+struct RegionTask {
+  graph::Label label = -1;
+  int32_t sv_index = 0;  // index into the significant-vector list
+  std::vector<int32_t> chosen;
+};
+
+// Pass-1 output: the task list plus the distinct (graph, node) cuts the
+// tasks need. `cut_slot` maps RegionCutKey -> slot, `cut_owner` maps
+// slot -> node-vector index to cut at.
+struct RegionPlan {
+  std::vector<RegionTask> tasks;
+  std::unordered_map<int64_t, int32_t> cut_slot;
+  std::vector<int32_t> cut_owner;
+  int64_t num_region_requests = 0;
+  int64_t num_unique_regions = 0;
+};
+
+// (graph_index, node) packed into one map key; radius is fixed per run,
+// so this identifies a cut.
+int64_t RegionCutKey(int32_t graph_index, graph::VertexId node);
+
+// Serial pass 1: selects each vector's region sample and dedups the
+// cuts. Bumps the mine/region_cache_hits|misses work counters.
+RegionPlan PlanRegionTasks(
+    const GraphSigConfig& config,
+    const std::vector<std::pair<graph::Label, fvmine::SignificantVector>>&
+        significant,
+    const std::vector<features::NodeVector>& node_vectors);
+
+// One region cut: the induced subgraph of the radius ball around
+// `node`, stamped with the host graph's database index.
+graph::Graph CutRegion(const graph::Graph& host, int32_t graph_index,
+                       graph::VertexId node, int cutoff_radius);
+
+struct RegionTaskOutput {
+  std::map<std::string, SignificantSubgraph> dedup;  // canonical -> best
+  bool filtered = false;  // no common structure (line-13 pruning)
+};
+
+// Pass-3 body: maximal FSM over one assembled region set.
+RegionTaskOutput MineRegionTask(const GraphSigConfig& config,
+                                graph::Label label,
+                                const fvmine::SignificantVector& sv,
+                                const graph::GraphDatabase& regions);
+
+// Folds one task's output into the global dedup map; must be called in
+// task order with the same better-candidate rule for every thread
+// count. Also advances the sets-mined/filtered stats.
+void MergeRegionOutput(RegionTaskOutput&& output,
+                       std::map<std::string, SignificantSubgraph>* dedup,
+                       GraphSigStats* stats);
+
+// Full-database frequency scan (compute_db_frequency) and the final
+// (p-value asc, edges desc) ordering.
+void ComputeDbFrequencies(const GraphSigConfig& config,
+                          const graph::GraphDatabase& db,
+                          std::vector<SignificantSubgraph>* subgraphs);
+void SortBySignificance(std::vector<SignificantSubgraph>* subgraphs);
+
+}  // namespace graphsig::core::pipeline
+
+#endif  // GRAPHSIG_CORE_MINE_PIPELINE_H_

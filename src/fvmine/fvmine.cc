@@ -1,5 +1,6 @@
 #include "fvmine/fvmine.h"
 
+#include <algorithm>
 #include <span>
 
 #include "obs/metrics.h"
@@ -52,6 +53,10 @@ class Searcher {
     width_ = population.width();
     words_ = population.words_per_vector();
     ceiling_buffer_.resize(words_);
+    tarone_ = config_.tarone_alpha > 0.0;
+    emit_bound_ = tarone_
+                      ? std::min(config_.max_pvalue, config_.tarone_alpha)
+                      : config_.max_pvalue;
   }
 
   FvMineResult Run() {
@@ -99,8 +104,13 @@ class Searcher {
       return;
     }
 
+    if (tarone_) {
+      // Every evaluated state joins the testability family.
+      result_.candidate_psis.push_back(
+          priors_.MinAchievablePValue(PackedSlice{x, width_}));
+    }
     const double p_value = Evaluate(x, static_cast<int64_t>(s.size()));
-    if (p_value <= config_.max_pvalue) {
+    if (p_value <= emit_bound_) {
       SignificantVector sv;
       sv.vector = features::UnpackWords(x, width_);
       sv.supporting.assign(s.begin(), s.end());
@@ -159,13 +169,27 @@ class Searcher {
         // so one buffer serves every Search call.
         population_.CeilingInto({s_prime, s_prime_size},
                                 ceiling_buffer_.data(), &ops_);
-        const double best_possible =
-            Evaluate(ceiling_buffer_.data(),
-                     static_cast<int64_t>(s_prime_size));
-        if (best_possible >= config_.max_pvalue) {
-          ++ceiling_prunes_;
-          arena_.Rewind(mark);
-          continue;
+        if (tarone_) {
+          // Tarone prune: psi is monotone under vector growth, so the
+          // ceiling's psi lower-bounds every descendant's. A subtree
+          // whose ceiling is untestable at alpha holds no testable (or
+          // reportable) state and may leave the family uncounted.
+          const double psi_ceiling = priors_.MinAchievablePValue(
+              PackedSlice{ceiling_buffer_.data(), width_});
+          if (psi_ceiling > config_.tarone_alpha) {
+            ++ceiling_prunes_;
+            arena_.Rewind(mark);
+            continue;
+          }
+        } else {
+          const double best_possible =
+              Evaluate(ceiling_buffer_.data(),
+                       static_cast<int64_t>(s_prime_size));
+          if (best_possible >= config_.max_pvalue) {
+            ++ceiling_prunes_;
+            arena_.Rewind(mark);
+            continue;
+          }
         }
       }
       Search(x_prime, {s_prime, s_prime_size}, i);
@@ -183,6 +207,8 @@ class Searcher {
   util::WallTimer timer_;
   util::Arena arena_;
   std::vector<uint64_t> ceiling_buffer_;
+  bool tarone_ = false;
+  double emit_bound_ = 1.0;
   bool stopped_ = false;
   // Local work tallies, flushed to the registry once in Run().
   uint64_t support_checks_ = 0;

@@ -22,6 +22,18 @@ struct FvMineConfig {
   // Section III-B's hybrid evaluation: use the normal approximation when
   // m*P and m*(1-P) are large (threshold 50), the exact tail otherwise.
   bool use_normal_approximation = false;
+  // Tarone testability mode (> 0 enables; stream/tarone.h). The search
+  // then (a) emits candidates against min(max_pvalue, tarone_alpha),
+  // (b) records the testability statistic psi of every evaluated state
+  // into FvMineResult::candidate_psis so the caller can solve for the
+  // family-wise threshold delta* across groups, and (c) replaces the
+  // optimistic ceiling prune with the weaker-but-sound Tarone prune: a
+  // subtree is cut only when psi(ceiling) > tarone_alpha, i.e. when no
+  // descendant could ever be testable (psi is monotone under growth, so
+  // every descendant's psi is >= the ceiling's). Cutting on the plain
+  // optimistic bound would silently drop testable states from the
+  // family and bias delta* upward.
+  double tarone_alpha = 0.0;
 };
 
 // A closed significant sub-feature vector found by FVMine.
@@ -36,6 +48,9 @@ struct FvMineResult {
   std::vector<SignificantVector> vectors;
   uint64_t states_explored = 0;
   bool completed = true;
+  // Tarone mode only (tarone_alpha > 0): psi of every evaluated state,
+  // in DFS order — the group's contribution to the testability family.
+  std::vector<double> candidate_psis;
 };
 
 // Mines every closed sub-feature vector of `population` whose support is

@@ -20,6 +20,7 @@ enum SectionId : uint32_t {
   kSectionFeatureSpace = 2,
   kSectionCatalog = 3,
   kSectionClassifier = 4,
+  kSectionStream = 5,
 };
 
 constexpr size_t kMagicSize = 8;
@@ -211,6 +212,26 @@ Status DecodeClassifier(ByteReader* r, classify::SigKnnModel* out) {
   return Status::Ok();
 }
 
+void EncodeStreamSection(const ModelArtifact& artifact, ByteWriter* w) {
+  w->WriteU64(artifact.generation);
+  w->WriteF64(artifact.tarone_alpha);
+  w->WriteF64(artifact.tarone_delta_star);
+  w->WriteU64(artifact.tarone_family_size);
+  w->WriteU64(artifact.tarone_filtered);
+}
+
+Status DecodeStreamSection(ByteReader* r, ModelArtifact* out) {
+  GS_RETURN_IF_ERROR(r->ReadU64(&out->generation));
+  if (out->generation == 0) {
+    return Status::ParseError("stream section with generation 0");
+  }
+  GS_RETURN_IF_ERROR(r->ReadF64(&out->tarone_alpha));
+  GS_RETURN_IF_ERROR(r->ReadF64(&out->tarone_delta_star));
+  GS_RETURN_IF_ERROR(r->ReadU64(&out->tarone_family_size));
+  GS_RETURN_IF_ERROR(r->ReadU64(&out->tarone_filtered));
+  return Status::Ok();
+}
+
 const char* SectionName(uint32_t id) {
   switch (id) {
     case kSectionDatabase:
@@ -221,6 +242,8 @@ const char* SectionName(uint32_t id) {
       return "catalog section";
     case kSectionClassifier:
       return "classifier section";
+    case kSectionStream:
+      return "stream section";
     default:
       return "unknown section";
   }
@@ -244,6 +267,9 @@ Status DecodeSection(uint32_t id, std::string_view payload,
       break;
     case kSectionClassifier:
       GS_RETURN_IF_ERROR(DecodeClassifier(&reader, &artifact->classifier));
+      break;
+    case kSectionStream:
+      GS_RETURN_IF_ERROR(DecodeStreamSection(&reader, artifact));
       break;
     default:
       // Unknown section: written by a same-major future revision; skip.
@@ -285,6 +311,11 @@ std::string EncodeArtifact(const ModelArtifact& artifact) {
     ByteWriter w;
     EncodeClassifier(artifact.classifier, &w);
     sections.push_back({kSectionClassifier, std::move(w.TakeBuffer())});
+  }
+  if (artifact.generation > 0) {
+    ByteWriter w;
+    EncodeStreamSection(artifact, &w);
+    sections.push_back({kSectionStream, std::move(w.TakeBuffer())});
   }
 
   ByteWriter out;

@@ -15,10 +15,14 @@
 //   last 4     u32 CRC-32 of every preceding byte
 //
 // Sections: database (1), feature space (2), significant-subgraph
-// catalog (3), classifier model (4). Unknown section ids are ignored on
-// load so later format revisions can add sections without breaking old
-// readers; files declaring a version newer than kFormatVersion are
-// rejected outright. Loading never crashes on hostile input: corrupt,
+// catalog (3), classifier model (4), stream provenance (5). Section 5
+// records the ingest-log generation the artifact was mined at plus the
+// Tarone correction parameters (DESIGN.md §16); it is only written when
+// generation > 0, so artifacts from the batch pipeline are byte-for-byte
+// what they always were. Unknown section ids are ignored on load so
+// later format revisions can add sections without breaking old readers;
+// files declaring a version newer than kFormatVersion are rejected
+// outright. Loading never crashes on hostile input: corrupt,
 // truncated, or wrong-version files come back as util::Status errors.
 
 #include <cstdint>
@@ -49,6 +53,15 @@ struct ModelArtifact {
   // Trained k-NN activity model; may be empty() when the training data
   // had only one class.
   classify::SigKnnModel classifier;
+  // Stream provenance (section 5). `generation` is the ingest-log
+  // generation the catalog reflects; 0 means "not from the streaming
+  // pipeline" and suppresses the section entirely. The Tarone fields
+  // mirror GraphSigStats for the mine that produced the catalog.
+  uint64_t generation = 0;
+  double tarone_alpha = 0.0;
+  double tarone_delta_star = 0.0;
+  uint64_t tarone_family_size = 0;
+  uint64_t tarone_filtered = 0;
 };
 
 // Serializes to the artifact wire format.

@@ -92,7 +92,7 @@ util::Status Errno(const char* what) {
 
 }  // namespace
 
-Server::Server(const serve::PatternCatalog* catalog, ServerConfig config)
+Server::Server(const serve::CatalogHandle* catalog, ServerConfig config)
     : catalog_(catalog), config_(std::move(config)) {}
 
 Server::~Server() = default;
@@ -415,8 +415,10 @@ std::string Server::ProcessQuery(std::string_view payload) {
   config.num_threads = 1;  // one frame, one worker
   config.compute_matches = request.value().options.compute_matches;
   config.compute_score = request.value().options.compute_score;
+  // One snapshot per request: a generation swap mid-query is invisible.
+  const auto catalog = catalog_->Current();
   const serve::QueryResult result =
-      catalog_->Query(request.value().query, config);
+      catalog->Query(request.value().query, config);
   return wire::EncodeFrame(
       wire::MessageType::kQueryReply,
       wire::EncodeQueryReply(wire::ReplyFromResult(result)));
@@ -429,8 +431,9 @@ std::string Server::ProcessBatchQuery(std::string_view payload) {
   config.num_threads = config_.batch_threads;
   config.compute_matches = request.value().options.compute_matches;
   config.compute_score = request.value().options.compute_score;
+  const auto catalog = catalog_->Current();
   const std::vector<serve::QueryResult> results =
-      catalog_->QueryBatch(request.value().queries, config);
+      catalog->QueryBatch(request.value().queries, config);
   std::vector<wire::QueryReply> replies;
   replies.reserve(results.size());
   for (const serve::QueryResult& r : results) {
@@ -451,7 +454,8 @@ std::string Server::ProcessApprox(std::string_view payload) {
   // Estimator-internal parallelism stays off: each request is one pool
   // task, and the reply must not depend on worker count anyway.
   config.num_threads = 1;
-  auto result = catalog_->ApproxQuery(request.value().pattern, config);
+  const auto catalog = catalog_->Current();
+  auto result = catalog->ApproxQuery(request.value().pattern, config);
   if (!result.ok()) return ErrorFrame(result.status());
   return wire::EncodeFrame(wire::MessageType::kApproxReply,
                            wire::EncodeApproxReply(
@@ -463,7 +467,8 @@ std::string Server::ProcessStats(std::string_view payload) {
   auto request = wire::DecodeStatsRequest(payload);
   if (!request.ok()) return ErrorFrame(request.status());
   wire::StatsReply reply;
-  reply.serving = catalog_->Snapshot();
+  const auto catalog = catalog_->Current();
+  reply.serving = catalog->Snapshot();
   const ServerCounters counters = this->counters();
   reply.connections_accepted = counters.connections_accepted;
   reply.connections_active = counters.connections_active;
@@ -479,6 +484,14 @@ std::string Server::ProcessStats(std::string_view payload) {
       reply.work_counters.emplace_back(name, value);
     }
   }
+  if (request.value().version >= wire::kStatsGenerationWireVersion) {
+    // v4 extension: which catalog generation answered this request.
+    // The counter section above is never empty here (serving this very
+    // request already bumped net/ counters), so the trailer always has
+    // its carrier.
+    reply.has_generation = true;
+    reply.generation = catalog->generation();
+  }
   // Stamp the lowest version able to carry the payload: a v1 client
   // gets a v1 frame it can decode even though the server speaks v2.
   return wire::EncodeFrame(wire::MessageType::kStatsReply,
@@ -491,15 +504,16 @@ std::string Server::ProcessHealth() {
   reply.ok = true;
   reply.draining = draining();
   reply.wire_version = wire::kWireVersion;
-  reply.num_patterns = catalog_->num_patterns();
-  reply.has_classifier = catalog_->has_classifier();
+  const auto catalog = catalog_->Current();
+  reply.num_patterns = catalog->num_patterns();
+  reply.has_classifier = catalog->has_classifier();
   return wire::EncodeFrame(wire::MessageType::kHealthReply,
                            wire::EncodeHealthReply(reply));
 }
 
 void Server::LogStatsLine() {
   const ServerCounters counters = this->counters();
-  const serve::ServingStats serving = catalog_->Snapshot();
+  const serve::ServingStats serving = catalog_->Current()->Snapshot();
   // One line, valid JSON after the "stats: " prefix, so log scrapers
   // can parse it without a bespoke format.
   util::LogInfo(util::StrPrintf(

@@ -41,6 +41,7 @@
 
 #include "net/socket.h"
 #include "net/wire.h"
+#include "serve/catalog_handle.h"
 #include "serve/pattern_catalog.h"
 #include "util/status.h"
 #include "util/sync.h"
@@ -80,9 +81,12 @@ struct ServerCounters {
 
 class Server {
  public:
-  // `catalog` must outlive the server and is shared with any in-process
-  // callers (it is immutable; its counters are internally locked).
-  Server(const serve::PatternCatalog* catalog, ServerConfig config);
+  // `catalog` must outlive the server. The handle indirection is what
+  // makes generation hot-swaps safe: every request handler snapshots
+  // the current catalog exactly once (a shared_ptr copy) and runs
+  // against that immutable snapshot, so the owner may Swap() in a new
+  // generation at any moment without dropping in-flight queries.
+  Server(const serve::CatalogHandle* catalog, ServerConfig config);
   ~Server();
 
   Server(const Server&) = delete;
@@ -177,8 +181,9 @@ class Server {
   void MaybeErase(uint64_t id);
   void EraseConnection(uint64_t id);
 
-  const serve::PatternCatalog* catalog_ GS_UNGUARDED_BY_DESIGN(
-      "set in the constructor, read-only afterwards");
+  const serve::CatalogHandle* catalog_ GS_UNGUARDED_BY_DESIGN(
+      "set in the constructor, read-only afterwards; the handle itself "
+      "is internally locked");
   ServerConfig config_ GS_UNGUARDED_BY_DESIGN(
       "set in the constructor, read-only afterwards");
 

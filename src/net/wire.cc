@@ -316,7 +316,8 @@ util::Result<StatsRequest> DecodeStatsRequest(std::string_view payload) {
 }
 
 uint8_t StatsReplyWireVersion(const StatsReply& reply) {
-  return reply.work_counters.empty() ? kBaseWireVersion : uint8_t{2};
+  if (reply.work_counters.empty()) return kBaseWireVersion;
+  return reply.has_generation ? kStatsGenerationWireVersion : uint8_t{2};
 }
 
 std::string EncodeStatsReply(const StatsReply& reply) {
@@ -342,6 +343,11 @@ std::string EncodeStatsReply(const StatsReply& reply) {
       w.WriteString(name);
       w.WriteU64(value);
     }
+    // v4 catalog-generation trailer. It needs the counter section as a
+    // carrier: without one the reply must stay byte-identical to v1,
+    // and a bare trailing u64 after the fixed fields would be
+    // indistinguishable from a truncated counter section.
+    if (reply.has_generation) w.WriteU64(reply.generation);
   }
   return std::move(w.TakeBuffer());
 }
@@ -381,6 +387,11 @@ util::Result<StatsReply> DecodeStatsReply(std::string_view payload) {
     GS_RETURN_IF_ERROR(reader.ReadString(&name));
     GS_RETURN_IF_ERROR(reader.ReadU64(&value));
     reply.work_counters.emplace_back(std::move(name), value);
+  }
+  // v4: bytes after the counter section are the catalog generation.
+  if (!reader.exhausted()) {
+    GS_RETURN_IF_ERROR(reader.ReadU64(&reply.generation));
+    reply.has_generation = true;
   }
   GS_RETURN_IF_ERROR(ExpectExhausted(reader));
   return reply;

@@ -28,6 +28,9 @@
 //       named work-counter section (obs::MetricsRegistry export)
 //   v3  ApproxQuery/ApproxReply: the sampling tier's estimate-with-
 //       confidence-interval query class (src/approx)
+//   v4  StatsReply may append the served catalog's ingest generation
+//       after the work-counter section, so streaming clients can watch
+//       catalog hot-swaps land (src/stream, DESIGN.md §16)
 //
 // Every reply payload is a pure function of the request and the served
 // catalog — server-side latency is deliberately *not* in QueryReply (it
@@ -52,12 +55,15 @@ namespace graphsig::net::wire {
 inline constexpr uint32_t kMagic = 0x31575347;  // "GSW1"
 // Newest protocol version this build speaks (and the oldest that still
 // interoperates: every v1 byte stream is valid v2).
-inline constexpr uint8_t kWireVersion = 3;
+inline constexpr uint8_t kWireVersion = 4;
 // Version stamped on frames that use no post-v1 feature.
 inline constexpr uint8_t kBaseWireVersion = 1;
 // Version stamped on ApproxQuery/ApproxReply frames: the lowest version
 // whose decoder knows the approx message pair.
 inline constexpr uint8_t kApproxWireVersion = 3;
+// Lowest version whose StatsReply decoder knows the trailing catalog
+// generation field (and whose StatsRequest version byte asks for it).
+inline constexpr uint8_t kStatsGenerationWireVersion = 4;
 inline constexpr size_t kFrameHeaderBytes = 16;
 // Default cap on one frame's payload; a header announcing more is a
 // protocol error, not an allocation.
@@ -178,7 +184,12 @@ struct StatsRequest {
 // (obs::MetricsRegistry::WorkValues()); `work_counters` stays empty for
 // v1 peers and the encoding of an empty section is byte-identical to
 // v1, so EncodeStatsReply picks the frame version from the value (see
-// StatsReplyWireVersion).
+// StatsReplyWireVersion). Since wire v4 the reply may additionally end
+// with the served catalog's ingest generation; the field rides AFTER
+// the counter section and is only encoded when that section is
+// non-empty (an empty counter section encodes as nothing, which would
+// leave a bare trailing u64 ambiguous), so `has_generation` without
+// counters is silently dropped on the wire.
 struct StatsReply {
   serve::ServingStats serving;
   uint64_t connections_accepted = 0;
@@ -188,10 +199,16 @@ struct StatsReply {
   uint64_t protocol_errors = 0;
   uint64_t retries_sent = 0;
   std::vector<std::pair<std::string, uint64_t>> work_counters;
+  // v4 extension: the generation of the catalog the server is serving
+  // (serve::PatternCatalog::generation(); 0 = batch artifact).
+  bool has_generation = false;
+  uint64_t generation = 0;
 };
 
 // Lowest frame version able to carry this reply: kBaseWireVersion when
-// work_counters is empty, 2 otherwise. Pass to EncodeFrame.
+// work_counters is empty, kStatsGenerationWireVersion when the
+// generation field is actually encoded, 2 otherwise. Pass to
+// EncodeFrame.
 uint8_t StatsReplyWireVersion(const StatsReply& reply);
 
 struct HealthReply {

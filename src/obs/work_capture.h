@@ -1,0 +1,84 @@
+#ifndef GRAPHSIG_OBS_WORK_CAPTURE_H_
+#define GRAPHSIG_OBS_WORK_CAPTURE_H_
+
+// Capture-and-replay for deterministic work metrics.
+//
+// The incremental miner (src/stream) promises that a delta mine emits
+// the exact work-counter dump a cold full mine of the same database
+// would emit — even for units of work it did not re-execute. The
+// mechanism is this module: while a WorkCapture is live on a thread,
+// every deterministic Counter::Add and SpanStats write on that thread
+// also lands in the capture frame. Take() resolves the touched metric
+// pointers to their registered names (dropping advisory counters and
+// span wall time, which are outside the determinism contract) and
+// returns a WorkDelta — a named, serializable record of exactly what
+// the unit of work contributed to the registry. Replaying the delta
+// later re-applies those contributions without redoing the work.
+//
+// Validity rules:
+//   * One WorkCapture per thread at a time; frames nest by
+//     save/restore, and writes land in the innermost frame only.
+//   * The captured unit must run entirely on the capturing thread
+//     (true for every cacheable unit in the pipeline: each runs inside
+//     one ParallelFor task).
+//   * Replay totals are deterministic because WorkDelta keys are
+//     names, merged and sorted, never pointers.
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "obs/metrics.h"
+
+namespace graphsig::obs {
+
+// {calls, work} contribution to one trace-span path.
+struct SpanDelta {
+  uint64_t calls = 0;
+  uint64_t work = 0;
+
+  bool operator==(const SpanDelta&) const = default;
+};
+
+// Named record of one unit's deterministic metric contributions.
+struct WorkDelta {
+  std::map<std::string, uint64_t> counters;
+  std::map<std::string, SpanDelta> spans;
+
+  bool empty() const { return counters.empty() && spans.empty(); }
+  bool operator==(const WorkDelta&) const = default;
+};
+
+// RAII capture frame for the current thread. Writes made between
+// construction and Take()/destruction are recorded in addition to
+// landing in the registry as usual.
+class WorkCapture {
+ public:
+  WorkCapture();
+  ~WorkCapture();
+
+  WorkCapture(const WorkCapture&) = delete;
+  WorkCapture& operator=(const WorkCapture&) = delete;
+
+  // Resolves the recorded writes to a named WorkDelta and clears the
+  // frame. Advisory counters resolve to no name and are dropped.
+  WorkDelta Take();
+
+ private:
+  internal::CaptureFrame* frame_;
+  internal::CaptureFrame* previous_;
+};
+
+// Re-applies a captured delta to the global registry: counters by name,
+// spans by path (calls + work; wall time is never replayed).
+void ReplayWorkDelta(const WorkDelta& delta);
+
+// Merges `from` into `into` (sum per name) — for units whose captured
+// work is persisted in pieces.
+void MergeWorkDelta(const WorkDelta& from, WorkDelta* into);
+
+}  // namespace graphsig::obs
+
+#endif  // GRAPHSIG_OBS_WORK_CAPTURE_H_

@@ -161,6 +161,10 @@ class PatternCatalog {
 
   size_t num_patterns() const { return artifact_.catalog.size(); }
   bool has_classifier() const { return !artifact_.classifier.empty(); }
+  // Ingest-log generation the artifact was mined at; 0 for batch
+  // (non-streaming) artifacts. Reported by the server's Stats RPC so
+  // clients can observe catalog hot-swaps.
+  uint64_t generation() const { return artifact_.generation; }
   const std::vector<core::SignificantSubgraph>& catalog() const {
     return artifact_.catalog;
   }

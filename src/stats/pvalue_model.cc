@@ -1,5 +1,7 @@
 #include "stats/pvalue_model.h"
 
+#include <cmath>
+
 #include "stats/distributions.h"
 #include "util/check.h"
 
@@ -103,6 +105,19 @@ double FeaturePriors::PValue(const features::PackedSlice& x,
                              int64_t observed_support) const {
   const double p = ProbRandomSuperVector(x);
   return BinomialUpperTail(population_size_, observed_support, p);
+}
+
+double FeaturePriors::MinAchievablePValue(
+    const features::FeatureVec& x) const {
+  // The tail at support = m collapses to P(X >= m) = P(x)^m.
+  return std::pow(ProbRandomSuperVector(x),
+                  static_cast<double>(population_size_));
+}
+
+double FeaturePriors::MinAchievablePValue(
+    const features::PackedSlice& x) const {
+  return std::pow(ProbRandomSuperVector(x),
+                  static_cast<double>(population_size_));
 }
 
 double FeaturePriors::PValueNormal(const features::FeatureVec& x,

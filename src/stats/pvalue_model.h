@@ -48,6 +48,14 @@ class FeaturePriors {
   double PValue(const features::PackedSlice& x,
                 int64_t observed_support) const;
 
+  // Minimum achievable p-value of x over this population: the exact
+  // tail at the most extreme outcome (support = m), which is P(x)^m.
+  // This is Tarone's testability statistic psi(x) (stream/tarone.h):
+  // psi(x) <= PValue(x, s) for every achievable support s, so a vector
+  // with psi > delta can never be significant at level delta.
+  double MinAchievablePValue(const features::FeatureVec& x) const;
+  double MinAchievablePValue(const features::PackedSlice& x) const;
+
   // Normal-approximation p-value (for large m*P; exposed for the
   // approximation-quality tests and as a faster alternative).
   double PValueNormal(const features::FeatureVec& x,

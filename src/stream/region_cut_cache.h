@@ -1,0 +1,66 @@
+#ifndef GRAPHSIG_STREAM_REGION_CUT_CACHE_H_
+#define GRAPHSIG_STREAM_REGION_CUT_CACHE_H_
+
+// Generation-keyed cache of region cuts (pipeline::CutRegion outputs)
+// for the incremental miner.
+//
+// A cut is a pure function of (graph content, node, radius), and a
+// graph's content never changes once its batch is appended — so the key
+// carries the ingest generation that *introduced* the graph, which is
+// stable across later appends. The generation component exists for
+// lineage safety: state restored against a different log (a rebuilt or
+// compacted one whose graph indices mean something else) stamps
+// different generations, so its lookups miss instead of serving cuts
+// from the wrong database. tests/stream_test.cc asserts the
+// stale-generation miss.
+//
+// Cuts bump no work counters (the cache-accounting counters live in
+// pipeline::PlanRegionTasks), so serving a hit is counter-transparent
+// by construction: skipping the recompute changes no dump byte.
+//
+// Not thread-safe: the miner fills it from a serial section and reads
+// it from parallel tasks only after filling completes.
+
+#include <cstdint>
+#include <map>
+#include <tuple>
+
+#include "graph/graph.h"
+
+namespace graphsig::stream {
+
+class RegionCutCache {
+ public:
+  struct Key {
+    uint64_t generation = 0;  // generation that introduced graph_index
+    int32_t graph_index = -1;
+    graph::VertexId node = -1;
+
+    friend bool operator<(const Key& a, const Key& b) {
+      return std::tie(a.generation, a.graph_index, a.node) <
+             std::tie(b.generation, b.graph_index, b.node);
+    }
+  };
+
+  // Null on miss. The pointer is stable until the next Insert/Clear.
+  const graph::Graph* Lookup(const Key& key) const {
+    auto it = cuts_.find(key);
+    return it == cuts_.end() ? nullptr : &it->second;
+  }
+
+  // Overwrites any existing entry (idempotent: a recomputed cut is
+  // byte-identical to the cached one).
+  void Insert(const Key& key, graph::Graph cut) {
+    cuts_.insert_or_assign(key, std::move(cut));
+  }
+
+  void Clear() { cuts_.clear(); }
+  size_t size() const { return cuts_.size(); }
+
+ private:
+  std::map<Key, graph::Graph> cuts_;
+};
+
+}  // namespace graphsig::stream
+
+#endif  // GRAPHSIG_STREAM_REGION_CUT_CACHE_H_

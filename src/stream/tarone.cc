@@ -1,0 +1,47 @@
+#include "stream/tarone.h"
+
+#include <algorithm>
+
+#include "obs/metrics.h"
+#include "util/check.h"
+
+namespace graphsig::stream {
+
+TaroneResult TaroneThreshold::Compute(std::vector<double> psis,
+                                      double alpha) {
+  GS_CHECK_GT(alpha, 0.0);
+  std::sort(psis.begin(), psis.end());
+  const uint64_t n = psis.size();
+  const auto testable_at = [&](uint64_t k) {
+    const double delta = alpha / static_cast<double>(k);
+    return static_cast<uint64_t>(
+        std::upper_bound(psis.begin(), psis.end(), delta) - psis.begin());
+  };
+  // m(k) - k is strictly decreasing, and m(n) <= n trivially, so the
+  // smallest k with m(k) <= k sits in [1, max(n, 1)].
+  uint64_t lo = 1, hi = std::max<uint64_t>(n, 1);
+  while (lo < hi) {
+    const uint64_t mid = lo + (hi - lo) / 2;
+    if (testable_at(mid) <= mid) {
+      hi = mid;
+    } else {
+      lo = mid + 1;
+    }
+  }
+  TaroneResult result;
+  result.k_tarone = lo;
+  result.delta_star = alpha / static_cast<double>(lo);
+  result.family_size = n;
+  result.testable = testable_at(lo);
+
+  auto& registry = obs::MetricsRegistry::Global();
+  static obs::Counter* const candidates =
+      registry.GetCounter("stream/tarone_candidates");
+  static obs::Counter* const testable =
+      registry.GetCounter("stream/tarone_testable");
+  candidates->Add(result.family_size);
+  testable->Add(result.testable);
+  return result;
+}
+
+}  // namespace graphsig::stream

@@ -14,7 +14,9 @@
 
 #include <cstring>
 
+#include <atomic>
 #include <limits>
+#include <memory>
 #include <optional>
 #include <string>
 #include <thread>
@@ -27,6 +29,7 @@
 #include "net/server.h"
 #include "net/socket.h"
 #include "net/wire.h"
+#include "serve/catalog_handle.h"
 #include "serve/pattern_catalog.h"
 #include "util/check.h"
 
@@ -39,9 +42,12 @@ namespace {
 
 struct Fixture {
   graph::GraphDatabase db;
-  // optional<> because PatternCatalog is only constructible through its
-  // factory (no public default ctor).
-  std::optional<serve::PatternCatalog> catalog;
+  // shared_ptr because that is what a CatalogHandle publishes; tests
+  // also query it directly for expected-bytes comparisons.
+  std::shared_ptr<const serve::PatternCatalog> catalog;
+  // optional<> because CatalogHandle is neither movable nor default-
+  // constructible (it always points at a live catalog).
+  std::optional<serve::CatalogHandle> handle;
 };
 
 const Fixture& SharedFixture() {
@@ -66,7 +72,9 @@ const Fixture& SharedFixture() {
     artifact.catalog = std::move(mined.subgraphs);
     auto catalog = serve::PatternCatalog::FromArtifact(std::move(artifact));
     GS_CHECK(catalog.ok());
-    f->catalog.emplace(std::move(catalog).value());
+    f->catalog = std::make_shared<const serve::PatternCatalog>(
+        std::move(catalog).value());
+    f->handle.emplace(f->catalog);
     return f;
   }();
   return *fixture;
@@ -86,10 +94,14 @@ std::string ExpectedReplyBytes(const graph::Graph& query,
 }
 
 // Server on an ephemeral loopback port, event loop on its own thread.
+// Serves the shared fixture's catalog unless a handle is passed in
+// (the hot-swap tests bring their own so they can Swap() mid-load).
 class TestServer {
  public:
-  explicit TestServer(ServerConfig config = {})
-      : server_(&*SharedFixture().catalog, std::move(config)) {
+  explicit TestServer(ServerConfig config = {},
+                      const serve::CatalogHandle* handle = nullptr)
+      : server_(handle != nullptr ? handle : &*SharedFixture().handle,
+                std::move(config)) {
     GS_CHECK(server_.Start().ok());
     thread_ = std::thread([this] { serve_status_ = server_.Serve(); });
   }
@@ -335,6 +347,61 @@ TEST(WireVersionTest, StatsReplyBackwardCompatibleDecode) {
   // spelling of "no counters" is the bare v1 payload) — reject it.
   std::string zero_section = v1_bytes + std::string(4, '\0');
   EXPECT_FALSE(wire::DecodeStatsReply(zero_section).ok());
+}
+
+TEST(WireVersionTest, StatsReplyGenerationTrailer) {
+  wire::StatsReply reply;
+  reply.requests_served = 3;
+  reply.has_generation = true;
+  reply.generation = 42;
+
+  // Without a counter section the generation has no carrier: the
+  // canonical encoding drops it and the frame is stamped v1. (A bare
+  // trailing u64 after the fixed v1 fields would be indistinguishable
+  // from garbage, so the trailer only ever rides behind a non-empty
+  // counter section.)
+  EXPECT_EQ(wire::StatsReplyWireVersion(reply), wire::kBaseWireVersion);
+  auto bare = wire::DecodeStatsReply(wire::EncodeStatsReply(reply));
+  ASSERT_TRUE(bare.ok());
+  EXPECT_FALSE(bare.value().has_generation);
+
+  // With counters the trailer encodes and the frame is stamped v4.
+  reply.work_counters = {{"serve/queries", 3}};
+  EXPECT_EQ(wire::StatsReplyWireVersion(reply),
+            wire::kStatsGenerationWireVersion);
+  const std::string v4_bytes = wire::EncodeStatsReply(reply);
+  auto v4_again = wire::DecodeStatsReply(v4_bytes);
+  ASSERT_TRUE(v4_again.ok()) << v4_again.status().ToString();
+  EXPECT_TRUE(v4_again.value().has_generation);
+  EXPECT_EQ(v4_again.value().generation, 42u);
+  EXPECT_EQ(v4_again.value().work_counters, reply.work_counters);
+
+  // The v4 encoding extends the v2 payload in place: same prefix, the
+  // u64 generation appended after the counter section.
+  wire::StatsReply v2 = reply;
+  v2.has_generation = false;
+  const std::string v2_bytes = wire::EncodeStatsReply(v2);
+  EXPECT_EQ(wire::StatsReplyWireVersion(v2), 2);
+  ASSERT_EQ(v4_bytes.size(), v2_bytes.size() + 8);
+  EXPECT_EQ(v4_bytes.substr(0, v2_bytes.size()), v2_bytes);
+
+  // Generation zero is a valid stamp (a batch-mined catalog) and must
+  // survive the round trip — absence is signaled by length, not value.
+  reply.generation = 0;
+  auto zero = wire::DecodeStatsReply(wire::EncodeStatsReply(reply));
+  ASSERT_TRUE(zero.ok());
+  EXPECT_TRUE(zero.value().has_generation);
+  EXPECT_EQ(zero.value().generation, 0u);
+
+  // A partial trailer (1..7 bytes after the counter section) is
+  // corruption, not a shorter version.
+  std::string truncated = v4_bytes;
+  truncated.resize(truncated.size() - 3);
+  EXPECT_FALSE(wire::DecodeStatsReply(truncated).ok());
+  // And bytes beyond the trailer are rejected outright.
+  std::string oversized = v4_bytes;
+  oversized.push_back('\0');
+  EXPECT_FALSE(wire::DecodeStatsReply(oversized).ok());
 }
 
 TEST(WireCodecTest, TypedMessagesRoundTrip) {
@@ -633,6 +700,113 @@ TEST(NetServerTest, StatsVersionNegotiation) {
   EXPECT_GE(serve_queries, 1u);
   EXPECT_TRUE(saw_stats_frames);
   EXPECT_GE(stats_frames, 2u);  // the v1 request above plus this one
+}
+
+TEST(NetServerTest, StatsReportsActiveGeneration) {
+  TestServer server;
+  Client client(MakeClientConfig(server.port()));
+  ASSERT_TRUE(client.Connect().ok());
+
+  // The default request is v4: the reply carries the active catalog's
+  // generation — 0 here, the shared fixture's batch-mined artifact.
+  auto v4 = client.Stats();
+  ASSERT_TRUE(v4.ok()) << v4.status().ToString();
+  EXPECT_TRUE(v4.value().has_generation);
+  EXPECT_EQ(v4.value().generation, 0u);
+
+  // A v2 client never sees the trailer.
+  auto v2 = client.Stats(2);
+  ASSERT_TRUE(v2.ok()) << v2.status().ToString();
+  EXPECT_FALSE(v2.value().has_generation);
+}
+
+// The streaming pipeline's serving contract: a generation swap while
+// clients are mid-flight drops nothing — every request is answered by
+// exactly one catalog snapshot (the old one stays alive until its last
+// in-flight reply is written), and the next Stats reports the new
+// generation. The CI TSan job runs this under the race detector.
+TEST(NetServerTest, GenerationHotSwapDropsNoQueries) {
+  const Fixture& f = SharedFixture();
+
+  // Two generations of one mined catalog, differing only in the stream
+  // provenance stamp — so replies are byte-identical across the swap
+  // and any divergence is a server bug, not a data difference.
+  core::GraphSigConfig config;
+  config.cutoff_radius = 3;
+  config.min_freq_percent = 5.0;
+  config.fsm_max_edges = 10;
+  core::GraphSigResult mined =
+      core::GraphSig(config).Mine(f.db.FilterByTag(1));
+  auto catalog_at = [&](uint64_t generation) {
+    model::ModelArtifact artifact;
+    artifact.database = f.db;
+    artifact.feature_space = mined.feature_space;
+    artifact.catalog = mined.subgraphs;
+    artifact.generation = generation;
+    auto catalog = serve::PatternCatalog::FromArtifact(std::move(artifact));
+    GS_CHECK(catalog.ok());
+    return std::make_shared<const serve::PatternCatalog>(
+        std::move(catalog).value());
+  };
+
+  serve::CatalogHandle handle(catalog_at(1));
+  TestServer server({}, &handle);
+
+  constexpr int kClients = 4;
+  std::atomic<bool> stop{false};
+  std::atomic<int> completed{0};
+  std::vector<std::string> failures(kClients);
+  std::vector<std::thread> threads;
+  threads.reserve(kClients);
+  for (int c = 0; c < kClients; ++c) {
+    threads.emplace_back([&, c] {
+      Client client(MakeClientConfig(server.port()));
+      util::Status connected = client.Connect();
+      if (!connected.ok()) {
+        failures[c] = connected.ToString();
+        return;
+      }
+      for (size_t i = 0; !stop.load(std::memory_order_relaxed); ++i) {
+        const size_t g = (i * (c + 1)) % f.db.size();
+        auto reply = client.Query(f.db.graph(g));
+        if (!reply.ok()) {
+          failures[c] = reply.status().ToString();
+          return;
+        }
+        completed.fetch_add(1, std::memory_order_relaxed);
+      }
+      // The connection opened against generation 1 sees generation 2
+      // on its very next Stats — the handle is read per-request, not
+      // per-connection.
+      auto stats = client.Stats();
+      if (!stats.ok()) {
+        failures[c] = stats.status().ToString();
+        return;
+      }
+      if (!stats.value().has_generation || stats.value().generation != 2) {
+        failures[c] = "post-swap stats did not report generation 2";
+      }
+    });
+  }
+
+  // Let the load ramp, swap mid-flight, let it keep running against
+  // the new generation, then stop.
+  while (completed.load(std::memory_order_relaxed) < kClients * 3) {
+    std::this_thread::yield();
+  }
+  std::shared_ptr<const serve::PatternCatalog> old =
+      handle.Swap(catalog_at(2));
+  EXPECT_EQ(old->generation(), 1u);
+  const int at_swap = completed.load(std::memory_order_relaxed);
+  while (completed.load(std::memory_order_relaxed) < at_swap + kClients) {
+    std::this_thread::yield();
+  }
+  stop.store(true, std::memory_order_relaxed);
+  for (std::thread& t : threads) t.join();
+  for (int c = 0; c < kClients; ++c) {
+    EXPECT_EQ(failures[c], "") << "client " << c;
+  }
+  EXPECT_EQ(handle.Current()->generation(), 2u);
 }
 
 // Writes raw bytes and expects an Error frame followed by EOF — the

@@ -1,0 +1,412 @@
+// Streaming-ingest subsystem tests (src/stream, DESIGN.md §16): the
+// append-only IngestLog (round trips, torn-tail recovery, corruption
+// rejection), the generation-keyed region-cut cache, MineState
+// checkpoint round trips, and the subsystem's headline guarantee —
+// incremental mining after N appends is byte-identical (artifact bytes
+// AND deterministic work-counter dump) to a cold mine of the final
+// database, across thread counts and batch splits.
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <cstdio>
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "core/graphsig.h"
+#include "data/datasets.h"
+#include "graph/graph_database.h"
+#include "model/artifact.h"
+#include "obs/metrics.h"
+#include "stream/incremental.h"
+#include "stream/ingest_log.h"
+#include "stream/mine_state.h"
+#include "stream/region_cut_cache.h"
+#include "util/binary.h"
+
+namespace graphsig::stream {
+namespace {
+
+graph::GraphDatabase SmallScreen(size_t size, uint64_t seed) {
+  data::DatasetOptions options;
+  options.size = size;
+  options.seed = seed;
+  options.active_fraction = 0.3;
+  return data::MakeCancerScreen("MCF-7", options);
+}
+
+core::GraphSigConfig SmallConfig(int num_threads) {
+  core::GraphSigConfig config;
+  config.cutoff_radius = 3;
+  config.min_freq_percent = 5.0;
+  config.fsm_max_edges = 8;
+  config.num_threads = num_threads;
+  return config;
+}
+
+// ---------------------------------------------------------------------
+// IngestLog.
+
+TEST(IngestLogTest, OpenAppendReopenRoundTrip) {
+  const std::string path = testing::TempDir() + "/ingest_roundtrip.gsl";
+  ::remove(path.c_str());
+  const graph::GraphDatabase db = SmallScreen(6, 3);
+
+  {
+    auto log = IngestLog::Open(path);
+    ASSERT_TRUE(log.ok()) << log.status().ToString();
+    EXPECT_EQ(log.value().last_generation(), 0u);
+    auto g1 = log.value().AppendBatch(
+        {db.graphs().begin(), db.graphs().begin() + 4});
+    ASSERT_TRUE(g1.ok());
+    EXPECT_EQ(g1.value(), 1u);
+    auto g2 = log.value().AppendBatch(
+        {db.graphs().begin() + 4, db.graphs().end()});
+    ASSERT_TRUE(g2.ok());
+    EXPECT_EQ(g2.value(), 2u);
+    ASSERT_TRUE(log.value().AppendCheckpoint(2, "opaque state").ok());
+  }
+
+  auto reopened = IngestLog::Open(path);
+  ASSERT_TRUE(reopened.ok()) << reopened.status().ToString();
+  const IngestLogContents& contents = reopened.value().contents();
+  ASSERT_EQ(contents.batches.size(), 2u);
+  EXPECT_EQ(contents.batches[0].generation, 1u);
+  EXPECT_EQ(contents.batches[0].graphs.size(), 4u);
+  EXPECT_EQ(contents.batches[1].generation, 2u);
+  EXPECT_EQ(contents.batches[1].graphs.size(), 2u);
+  EXPECT_EQ(contents.checkpoint_generation, 2u);
+  EXPECT_EQ(contents.checkpoint, "opaque state");
+
+  const graph::GraphDatabase replayed = reopened.value().ReplayDatabase();
+  ASSERT_EQ(replayed.size(), db.size());
+  for (size_t i = 0; i < db.size(); ++i) {
+    EXPECT_EQ(replayed.graph(i).num_vertices(), db.graph(i).num_vertices());
+    EXPECT_EQ(replayed.graph(i).num_edges(), db.graph(i).num_edges());
+  }
+}
+
+TEST(IngestLogTest, CheckpointLastOneWins) {
+  const graph::GraphDatabase db = SmallScreen(4, 4);
+  std::string image(kLogMagic, 8);
+  {
+    util::ByteWriter w;
+    w.WriteU32(kLogFormatVersion);
+    image += w.buffer();
+  }
+  image += EncodeBatchRecord(1, db.graphs());
+  image += EncodeCheckpointRecord(1, "first");
+  image += EncodeCheckpointRecord(1, "second");
+  auto contents = DecodeIngestLog(image);
+  ASSERT_TRUE(contents.ok()) << contents.status().ToString();
+  EXPECT_EQ(contents.value().checkpoint, "second");
+}
+
+TEST(IngestLogTest, TornTailRecoversValidPrefixAndTruncates) {
+  const std::string path = testing::TempDir() + "/ingest_torn.gsl";
+  ::remove(path.c_str());
+  const graph::GraphDatabase db = SmallScreen(5, 5);
+  {
+    auto log = IngestLog::Open(path);
+    ASSERT_TRUE(log.ok());
+    ASSERT_TRUE(log.value().AppendBatch(db.graphs()).ok());
+  }
+  // Simulate a crash mid-append: a second record missing its tail.
+  std::string full;
+  {
+    std::ifstream in(path, std::ios::binary);
+    std::ostringstream buffer;
+    buffer << in.rdbuf();
+    full = buffer.str();
+  }
+  const std::string record = EncodeBatchRecord(2, db.graphs());
+  {
+    std::ofstream out(path, std::ios::binary | std::ios::app);
+    out.write(record.data(),
+              static_cast<std::streamsize>(record.size() / 2));
+  }
+
+  auto reopened = IngestLog::Open(path);
+  ASSERT_TRUE(reopened.ok()) << reopened.status().ToString();
+  EXPECT_EQ(reopened.value().last_generation(), 1u);
+  // Open truncated the torn tail: the next append must land cleanly
+  // and a further reopen must see both generations.
+  ASSERT_TRUE(reopened.value().AppendBatch(db.graphs()).ok());
+  auto again = IngestLog::Open(path);
+  ASSERT_TRUE(again.ok()) << again.status().ToString();
+  EXPECT_EQ(again.value().last_generation(), 2u);
+}
+
+TEST(IngestLogTest, RejectsCorruptionInsideRecords) {
+  const graph::GraphDatabase db = SmallScreen(4, 6);
+  std::string header(kLogMagic, 8);
+  {
+    util::ByteWriter w;
+    w.WriteU32(kLogFormatVersion);
+    header += w.buffer();
+  }
+  // CRC mismatch: flip a payload byte of a fully present record.
+  {
+    std::string image = header + EncodeBatchRecord(1, db.graphs());
+    image[image.size() - 1] ^= 0x01;
+    EXPECT_FALSE(DecodeIngestLog(image).ok());
+  }
+  // Out-of-order generation (first batch must be generation 1).
+  {
+    const std::string image = header + EncodeBatchRecord(2, db.graphs());
+    EXPECT_FALSE(DecodeIngestLog(image).ok());
+  }
+  // Checkpoint ahead of the last appended batch.
+  {
+    const std::string image = header + EncodeBatchRecord(1, db.graphs()) +
+                              EncodeCheckpointRecord(5, "state");
+    EXPECT_FALSE(DecodeIngestLog(image).ok());
+  }
+  // Bad magic.
+  {
+    std::string image = header + EncodeBatchRecord(1, db.graphs());
+    image[0] ^= 0x01;
+    EXPECT_FALSE(DecodeIngestLog(image).ok());
+  }
+}
+
+// ---------------------------------------------------------------------
+// RegionCutCache generation keying.
+
+TEST(RegionCutCacheTest, StaleGenerationLookupMisses) {
+  RegionCutCache cache;
+  graph::Graph cut;
+  cut.AddVertex(7);
+  cache.Insert({.generation = 1, .graph_index = 0, .node = 2},
+               std::move(cut));
+  ASSERT_EQ(cache.size(), 1u);
+
+  // Same (graph, node) under the generation that introduced the graph:
+  // hit.
+  EXPECT_NE(cache.Lookup({.generation = 1, .graph_index = 0, .node = 2}),
+            nullptr);
+  // Same (graph, node) under a different lineage: miss — a restored
+  // state whose stamps disagree must never be served another log's
+  // cuts.
+  EXPECT_EQ(cache.Lookup({.generation = 2, .graph_index = 0, .node = 2}),
+            nullptr);
+  EXPECT_EQ(cache.Lookup({.generation = 1, .graph_index = 1, .node = 2}),
+            nullptr);
+
+  cache.Clear();
+  EXPECT_EQ(cache.size(), 0u);
+  EXPECT_EQ(cache.Lookup({.generation = 1, .graph_index = 0, .node = 2}),
+            nullptr);
+}
+
+// ---------------------------------------------------------------------
+// MineState checkpoints.
+
+TEST(MineStateTest, CheckpointRoundTripsThroughRestore) {
+  const graph::GraphDatabase db = SmallScreen(10, 7);
+  const core::GraphSigConfig config = SmallConfig(2);
+
+  IncrementalMiner miner(config);
+  std::vector<uint64_t> generations(db.size(), 1);
+  core::GraphSigResult first = miner.Mine(db, generations, 1);
+  const std::string checkpoint = miner.Checkpoint();
+
+  // Same config: restore succeeds and the state round-trips exactly.
+  IncrementalMiner restored(config);
+  auto ok = restored.Restore(checkpoint);
+  ASSERT_TRUE(ok.ok()) << ok.status().ToString();
+  EXPECT_TRUE(ok.value());
+  EXPECT_EQ(restored.state().generation, 1u);
+  EXPECT_EQ(restored.state().node_vectors.size(),
+            miner.state().node_vectors.size());
+  EXPECT_EQ(restored.Checkpoint(), checkpoint);
+
+  // Changed mining config: fingerprint mismatch, miner starts cold
+  // (false, not an error).
+  core::GraphSigConfig other = config;
+  other.max_pvalue = 0.05;
+  IncrementalMiner cold(other);
+  auto mismatch = cold.Restore(checkpoint);
+  ASSERT_TRUE(mismatch.ok()) << mismatch.status().ToString();
+  EXPECT_FALSE(mismatch.value());
+
+  // Thread count is NOT part of the fingerprint: a checkpoint written
+  // at 2 threads restores at 8.
+  core::GraphSigConfig threads = config;
+  threads.num_threads = 8;
+  IncrementalMiner rethreaded(threads);
+  auto portable = rethreaded.Restore(checkpoint);
+  ASSERT_TRUE(portable.ok());
+  EXPECT_TRUE(portable.value());
+
+  // Corrupt bytes are a hard error, not a cold start.
+  std::string corrupt = checkpoint;
+  corrupt.resize(corrupt.size() / 2);
+  EXPECT_FALSE(IncrementalMiner(config).Restore(corrupt).ok());
+}
+
+// ---------------------------------------------------------------------
+// The headline guarantee: incremental == cold, byte for byte.
+
+// Deterministic work counters with the stream/* ingest-accounting
+// names stripped — the one documented divergence between modes.
+std::map<std::string, uint64_t> NonStreamWorkValues() {
+  std::map<std::string, uint64_t> values;
+  for (const auto& [name, value] :
+       obs::MetricsRegistry::Global().WorkValues()) {
+    if (name.rfind("stream/", 0) == 0) continue;
+    values.emplace(name, value);
+  }
+  return values;
+}
+
+std::string ArtifactBytes(core::GraphSigResult result,
+                          const graph::GraphDatabase& db) {
+  model::ModelArtifact artifact;
+  artifact.database = db;
+  artifact.feature_space = std::move(result.feature_space);
+  artifact.catalog = std::move(result.subgraphs);
+  return model::EncodeArtifact(artifact);
+}
+
+void CheckIncrementalMatchesCold(int num_threads, size_t num_batches) {
+  SCOPED_TRACE("threads=" + std::to_string(num_threads) +
+               " batches=" + std::to_string(num_batches));
+  const graph::GraphDatabase db = SmallScreen(20, 11);
+  const core::GraphSigConfig config = SmallConfig(num_threads);
+
+  // Incremental: mine after every append; only the final mine's
+  // counters are compared (Reset() zeroes values but keeps every
+  // registered name, so both modes dump the same key set).
+  IncrementalMiner miner(config);
+  graph::GraphDatabase cumulative;
+  std::vector<uint64_t> generations;
+  core::GraphSigResult incremental;
+  const size_t per_batch = (db.size() + num_batches - 1) / num_batches;
+  size_t next = 0;
+  for (size_t b = 0; b < num_batches; ++b) {
+    const uint64_t generation = b + 1;
+    for (size_t i = 0; i < per_batch && next < db.size(); ++i, ++next) {
+      cumulative.Add(db.graph(next));
+      generations.push_back(generation);
+    }
+    if (b + 1 < num_batches) {
+      miner.Mine(cumulative, generations, generation);
+      // Exercise the checkpoint path mid-stream: the final mine runs
+      // from a restored state, exactly like a graphsig_ingest restart.
+      IncrementalMiner restored(config);
+      auto ok = restored.Restore(miner.Checkpoint());
+      ASSERT_TRUE(ok.ok()) << ok.status().ToString();
+      ASSERT_TRUE(ok.value());
+      miner = std::move(restored);
+    } else {
+      obs::MetricsRegistry::Global().Reset();
+      incremental = miner.Mine(cumulative, generations, generation);
+    }
+  }
+  const std::map<std::string, uint64_t> inc_counters =
+      NonStreamWorkValues();
+  const std::string inc_bytes = ArtifactBytes(std::move(incremental), db);
+
+  // Cold: one full mine of the final database.
+  obs::MetricsRegistry::Global().Reset();
+  core::GraphSig cold(config);
+  core::GraphSigResult full = cold.Mine(db);
+  const std::map<std::string, uint64_t> cold_counters =
+      NonStreamWorkValues();
+  const std::string cold_bytes = ArtifactBytes(std::move(full), db);
+
+  EXPECT_EQ(inc_bytes, cold_bytes);
+  EXPECT_EQ(inc_counters, cold_counters);
+}
+
+TEST(IncrementalMineTest, MatchesColdMineSingleThread) {
+  CheckIncrementalMatchesCold(1, 1);
+  CheckIncrementalMatchesCold(1, 2);
+  CheckIncrementalMatchesCold(1, 5);
+}
+
+TEST(IncrementalMineTest, MatchesColdMineFourThreads) {
+  CheckIncrementalMatchesCold(4, 1);
+  CheckIncrementalMatchesCold(4, 2);
+  CheckIncrementalMatchesCold(4, 5);
+}
+
+TEST(IncrementalMineTest, MatchesColdMineEightThreads) {
+  CheckIncrementalMatchesCold(8, 1);
+  CheckIncrementalMatchesCold(8, 2);
+  CheckIncrementalMatchesCold(8, 5);
+}
+
+// Tarone mode rides the same guarantee: the solved threshold is a pure
+// function of the family, so incremental and cold agree byte for byte
+// with the correction on.
+TEST(IncrementalMineTest, MatchesColdMineWithTarone) {
+  const graph::GraphDatabase db = SmallScreen(16, 13);
+  core::GraphSigConfig config = SmallConfig(4);
+  config.tarone_alpha = 0.1;
+
+  IncrementalMiner miner(config);
+  graph::GraphDatabase cumulative;
+  std::vector<uint64_t> generations;
+  for (size_t i = 0; i < db.size() / 2; ++i) {
+    cumulative.Add(db.graph(i));
+    generations.push_back(1);
+  }
+  miner.Mine(cumulative, generations, 1);
+  for (size_t i = db.size() / 2; i < db.size(); ++i) {
+    cumulative.Add(db.graph(i));
+    generations.push_back(2);
+  }
+  obs::MetricsRegistry::Global().Reset();
+  core::GraphSigResult incremental = miner.Mine(cumulative, generations, 2);
+  const auto inc_counters = NonStreamWorkValues();
+
+  obs::MetricsRegistry::Global().Reset();
+  core::GraphSigResult full = core::GraphSig(config).Mine(db);
+  const auto cold_counters = NonStreamWorkValues();
+
+  EXPECT_EQ(incremental.stats.tarone_delta_star,
+            full.stats.tarone_delta_star);
+  EXPECT_EQ(incremental.stats.tarone_family_size,
+            full.stats.tarone_family_size);
+  EXPECT_EQ(ArtifactBytes(std::move(incremental), db),
+            ArtifactBytes(std::move(full), db));
+  EXPECT_EQ(inc_counters, cold_counters);
+}
+
+// Reuse accounting: a second mine over an unchanged-feature-space
+// append reuses the previously featurized graphs.
+TEST(IncrementalMineTest, ReusesFeaturizationWhenSpaceStable) {
+  const graph::GraphDatabase db = SmallScreen(12, 17);
+  const core::GraphSigConfig config = SmallConfig(2);
+
+  IncrementalMiner miner(config);
+  graph::GraphDatabase cumulative;
+  std::vector<uint64_t> generations;
+  for (const graph::Graph& g : db.graphs()) {
+    cumulative.Add(g);
+    generations.push_back(1);
+  }
+  miner.Mine(cumulative, generations, 1);
+
+  // Appending the same batch again scales every label count by the
+  // same factor, so the frequency-ordered feature space is unchanged
+  // and the first batch's RWR vectors replay instead of recomputing.
+  for (const graph::Graph& g : db.graphs()) {
+    cumulative.Add(g);
+    generations.push_back(2);
+  }
+  IncrementalMineStats stats;
+  miner.Mine(cumulative, generations, 2, &stats);
+  EXPECT_FALSE(stats.invalidated_feature_space);
+  EXPECT_EQ(stats.graphs_reused, static_cast<int64_t>(db.size()));
+  EXPECT_EQ(stats.graphs_featurized, static_cast<int64_t>(db.size()));
+}
+
+}  // namespace
+}  // namespace graphsig::stream

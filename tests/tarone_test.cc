@@ -1,0 +1,159 @@
+// Calibration of the Tarone testability correction (src/stream/tarone.h,
+// DESIGN.md §16): over randomized candidate families the solved
+// threshold must (a) control the family-wise budget — delta* <= alpha on
+// every family, (b) never fall below the Bonferroni floor alpha / N, and
+// (c) dominate Bonferroni in yield — every pattern Bonferroni accepts,
+// Tarone accepts, and on the vast majority of families Tarone accepts
+// strictly more. The end-to-end test pins the same contract through
+// core::GraphSig::Mine with tarone_alpha set.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <vector>
+
+#include "core/graphsig.h"
+#include "data/datasets.h"
+#include "graph/graph_database.h"
+#include "stream/tarone.h"
+#include "util/rng.h"
+
+namespace graphsig::stream {
+namespace {
+
+constexpr double kAlpha = 0.05;
+
+// One randomized candidate family, shaped like an FVMine psi family:
+// mostly untestable members (psi near 1 — rare vectors whose most
+// extreme outcome still isn't significant), a handful of marginal
+// members with psi log-uniform between the Bonferroni floor and alpha,
+// and a few strongly testable ones far below the floor. The marginal
+// band is where Tarone and Bonferroni disagree: those members are
+// testable at delta* but not at alpha / N.
+struct Family {
+  std::vector<double> psis;
+  // Observed p-value per member; p >= psi always (psi is the floor).
+  std::vector<double> pvalues;
+};
+
+Family MakeFamily(util::Rng* rng) {
+  Family family;
+  const int untestable = rng->NextInt(40, 120);
+  const int marginal = rng->NextInt(6, 12);
+  const int strong = rng->NextInt(2, 6);
+  const int n = untestable + marginal + strong;
+  const double floor = kAlpha / n;
+  for (int i = 0; i < untestable; ++i) {
+    const double psi = 0.2 + 0.8 * rng->NextDouble();
+    family.psis.push_back(psi);
+    family.pvalues.push_back(psi + (1.0 - psi) * rng->NextDouble());
+  }
+  for (int i = 0; i < marginal; ++i) {
+    // Log-uniform in [floor / 2, alpha]: straddles the Bonferroni
+    // threshold from below and above.
+    const double lo = std::log(floor / 2), hi = std::log(kAlpha);
+    const double psi = std::exp(lo + (hi - lo) * rng->NextDouble());
+    family.psis.push_back(psi);
+    // The member attained its most extreme outcome: p = psi. These are
+    // the discoveries a threshold either admits or loses.
+    family.pvalues.push_back(psi);
+  }
+  for (int i = 0; i < strong; ++i) {
+    const double psi = floor * 1e-4 * rng->NextDouble();
+    family.psis.push_back(psi);
+    family.pvalues.push_back(psi);
+  }
+  return family;
+}
+
+size_t Yield(const std::vector<double>& pvalues, double threshold) {
+  return static_cast<size_t>(std::count_if(
+      pvalues.begin(), pvalues.end(),
+      [threshold](double p) { return p <= threshold; }));
+}
+
+TEST(TaroneThresholdTest, CalibrationOverRandomFamilies) {
+  int strictly_better = 0;
+  for (uint64_t seed = 1; seed <= 100; ++seed) {
+    util::Rng rng(seed);
+    const Family family = MakeFamily(&rng);
+    const size_t n = family.psis.size();
+    const double bonferroni = kAlpha / static_cast<double>(n);
+
+    const TaroneResult r = TaroneThreshold::Compute(family.psis, kAlpha);
+
+    // FWER control: never looser than alpha, never tighter than
+    // Bonferroni.
+    EXPECT_LE(r.delta_star, kAlpha) << "seed " << seed;
+    EXPECT_GE(r.delta_star, bonferroni) << "seed " << seed;
+    EXPECT_EQ(r.family_size, n);
+    EXPECT_GE(r.k_tarone, 1u);
+    EXPECT_LE(r.k_tarone, n);
+    // delta* is exactly alpha / k_T.
+    EXPECT_DOUBLE_EQ(r.delta_star, kAlpha / static_cast<double>(r.k_tarone));
+    // The fixed point: at most k_T members are testable at alpha / k_T.
+    EXPECT_LE(r.testable, r.k_tarone) << "seed " << seed;
+
+    // Yield dominance: delta* >= alpha/N means Tarone accepts a
+    // superset of Bonferroni's discoveries on every family.
+    const size_t tarone_yield = Yield(family.pvalues, r.delta_star);
+    const size_t bonferroni_yield = Yield(family.pvalues, bonferroni);
+    EXPECT_GE(tarone_yield, bonferroni_yield) << "seed " << seed;
+    if (tarone_yield > bonferroni_yield) ++strictly_better;
+  }
+  // The marginal band makes a strict win overwhelmingly likely per
+  // family; require it on at least 90 of the 100 seeds.
+  EXPECT_GE(strictly_better, 90);
+}
+
+TEST(TaroneThresholdTest, EdgeCases) {
+  // Empty family: nothing to test, threshold degenerates to alpha.
+  const TaroneResult empty = TaroneThreshold::Compute({}, kAlpha);
+  EXPECT_EQ(empty.family_size, 0u);
+  EXPECT_LE(empty.delta_star, kAlpha);
+
+  // All untestable: k_T = 1, delta* = alpha (no correction needed).
+  const TaroneResult loose =
+      TaroneThreshold::Compute({0.9, 0.8, 0.99}, kAlpha);
+  EXPECT_DOUBLE_EQ(loose.delta_star, kAlpha);
+  EXPECT_EQ(loose.k_tarone, 1u);
+  EXPECT_EQ(loose.testable, 0u);
+
+  // All maximally testable (psi = 0): Tarone collapses to Bonferroni.
+  const TaroneResult tight =
+      TaroneThreshold::Compute({0.0, 0.0, 0.0, 0.0}, kAlpha);
+  EXPECT_DOUBLE_EQ(tight.delta_star, kAlpha / 4.0);
+  EXPECT_EQ(tight.k_tarone, 4u);
+  EXPECT_EQ(tight.testable, 4u);
+}
+
+// End to end through the mining pipeline: with tarone_alpha set, every
+// reported pattern's p-value respects the solved family-wise threshold
+// and the threshold itself respects alpha.
+TEST(TaroneThresholdTest, MineNeverReportsAboveDeltaStar) {
+  data::DatasetOptions options;
+  options.size = 30;
+  options.seed = 21;
+  options.active_fraction = 0.3;
+  const graph::GraphDatabase db = data::MakeCancerScreen("MCF-7", options);
+
+  core::GraphSigConfig config;
+  config.cutoff_radius = 3;
+  config.min_freq_percent = 5.0;
+  config.fsm_max_edges = 8;
+  config.num_threads = 2;
+  config.tarone_alpha = 0.1;
+
+  const core::GraphSigResult result = core::GraphSig(config).Mine(db);
+  ASSERT_GT(result.stats.tarone_family_size, 0u);
+  EXPECT_GT(result.stats.tarone_delta_star, 0.0);
+  EXPECT_LE(result.stats.tarone_delta_star, config.tarone_alpha);
+  for (const core::SignificantSubgraph& s : result.subgraphs) {
+    EXPECT_LE(s.vector_pvalue, result.stats.tarone_delta_star);
+  }
+}
+
+}  // namespace
+}  // namespace graphsig::stream

@@ -1,0 +1,185 @@
+// graphsig_ingest: the streaming half of the pipeline (DESIGN.md §16).
+// Appends graph batches to an append-only ingest log, then incrementally
+// re-mines the catalog — featurizing only the new graphs, re-evaluating
+// only the anchor-label groups whose priors changed — and writes a model
+// artifact stamped with the log's generation for graphsig_serve to
+// hot-swap in.
+//
+//   graphsig_ingest --log=FILE [--append=FILE] [--format=smiles|sdf|gspan]
+//                   [--output=model.gsig] [--mine] [--rebuild]
+//                   [--no-checkpoint] [--tarone-alpha=A]
+//                   [--max-pvalue=0.1] [--min-freq=0.1] [--radius=8]
+//                   [--fsg-freq=80] [--threads=1 (0 = auto)]
+//                   [--no-frequency] [--metrics-out=FILE]
+//
+// One invocation = append (optional) then mine (when --mine or --output
+// is given). The mine restores the last checkpoint from the log unless
+// --rebuild forces a cold start, and appends a fresh checkpoint after
+// mining unless --no-checkpoint. The incremental result is byte-
+// identical to a cold mine of the full replayed database at any thread
+// count (tests/stream_test.cc holds that line), so --rebuild is a
+// recovery/verification tool, not a correctness knob.
+
+#include <cstdio>
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "core/graphsig.h"
+#include "graph/statistics.h"
+#include "model/artifact.h"
+#include "stream/incremental.h"
+#include "stream/ingest_log.h"
+#include "tools/tool_util.h"
+#include "util/timer.h"
+
+int main(int argc, char** argv) {
+  using namespace graphsig;
+  tools::Flags flags(argc, argv);
+  tools::InstallSignalGuard();
+  const std::string log_path = flags.GetString("log", "");
+  if (log_path.empty()) {
+    std::fprintf(stderr,
+                 "usage: graphsig_ingest --log=FILE [--append=FILE] "
+                 "[--format=smiles|sdf|gspan] [--output=FILE] [--mine] "
+                 "[--rebuild] [--no-checkpoint] [--tarone-alpha=A] "
+                 "[--max-pvalue=P] [--min-freq=F%%] [--radius=R] "
+                 "[--fsg-freq=F%%] [--threads=N (0 = auto)] "
+                 "[--no-frequency] [--metrics-out=FILE]\n");
+    return 1;
+  }
+
+  auto opened = stream::IngestLog::Open(log_path);
+  if (!opened.ok()) tools::Fail(opened.status());
+  stream::IngestLog log = std::move(opened).value();
+  std::printf("log %s: %zu batches, generation %llu, checkpoint at %llu\n",
+              log_path.c_str(), log.contents().batches.size(),
+              static_cast<unsigned long long>(log.last_generation()),
+              static_cast<unsigned long long>(
+                  log.contents().checkpoint_generation));
+
+  const std::string append_path = flags.GetString("append", "");
+  if (!append_path.empty()) {
+    auto batch = tools::LoadDatabase(append_path,
+                                     flags.GetString("format", "smiles"));
+    if (!batch.ok()) tools::Fail(batch.status());
+    if (batch.value().empty()) {
+      std::fprintf(stderr, "error: %s holds no graphs\n",
+                   append_path.c_str());
+      return 1;
+    }
+    auto generation = log.AppendBatch(batch.value().graphs());
+    if (!generation.ok()) tools::Fail(generation.status());
+    std::printf("appended %zu graphs as generation %llu\n",
+                batch.value().size(),
+                static_cast<unsigned long long>(generation.value()));
+  }
+
+  const std::string output = flags.GetString("output", "");
+  const bool mine = flags.GetBool("mine") || !output.empty();
+  if (mine) {
+    if (log.last_generation() == 0) {
+      std::fprintf(stderr, "error: nothing to mine (log is empty)\n");
+      return 1;
+    }
+    core::GraphSigConfig config;
+    config.max_pvalue = flags.GetDouble("max-pvalue", config.max_pvalue);
+    config.min_freq_percent =
+        flags.GetDouble("min-freq", config.min_freq_percent);
+    config.cutoff_radius =
+        static_cast<int>(flags.GetInt("radius", config.cutoff_radius));
+    config.fsg_freq_percent =
+        flags.GetDouble("fsg-freq", config.fsg_freq_percent);
+    config.num_threads =
+        tools::ResolveThreads(flags.GetInt("threads", config.num_threads));
+    config.compute_db_frequency = !flags.GetBool("no-frequency");
+    config.tarone_alpha =
+        flags.GetDouble("tarone-alpha", config.tarone_alpha);
+
+    stream::IncrementalMiner miner(config);
+    if (!flags.GetBool("rebuild") && !log.contents().checkpoint.empty()) {
+      auto restored = miner.Restore(log.contents().checkpoint);
+      if (!restored.ok()) tools::Fail(restored.status());
+      if (restored.value()) {
+        std::printf("restored checkpoint from generation %llu\n",
+                    static_cast<unsigned long long>(
+                        log.contents().checkpoint_generation));
+      } else {
+        std::printf("checkpoint incompatible with this config; "
+                    "mining cold\n");
+      }
+    }
+
+    graph::GraphDatabase db = log.ReplayDatabase();
+    std::vector<uint64_t> graph_generations;
+    graph_generations.reserve(db.size());
+    for (const stream::LogBatch& batch : log.contents().batches) {
+      graph_generations.insert(graph_generations.end(),
+                               batch.graphs.size(), batch.generation);
+    }
+    std::printf("mining %s\n", graph::DescribeDatabase(db).c_str());
+
+    util::WallTimer mine_timer;
+    stream::IncrementalMineStats inc;
+    core::GraphSigResult result =
+        miner.Mine(db, graph_generations, log.last_generation(), &inc);
+    std::printf(
+        "mined %zu significant subgraphs in %.2fs (featurized %lld "
+        "graphs, reused %lld; mined %lld groups, reused %lld; mined "
+        "%lld region tasks, replayed %lld)\n",
+        result.subgraphs.size(), mine_timer.ElapsedSeconds(),
+        static_cast<long long>(inc.graphs_featurized),
+        static_cast<long long>(inc.graphs_reused),
+        static_cast<long long>(inc.groups_mined),
+        static_cast<long long>(inc.groups_reused),
+        static_cast<long long>(inc.fsm_tasks_mined),
+        static_cast<long long>(inc.fsm_tasks_replayed));
+    if (config.tarone_alpha > 0) {
+      std::printf("tarone: family %lld, delta* %.3e, %lld filtered\n",
+                  static_cast<long long>(result.stats.tarone_family_size),
+                  result.stats.tarone_delta_star,
+                  static_cast<long long>(
+                      result.stats.tarone_filtered_vectors));
+    }
+
+    if (!flags.GetBool("no-checkpoint")) {
+      util::Status ckpt =
+          log.AppendCheckpoint(log.last_generation(), miner.Checkpoint());
+      if (!ckpt.ok()) tools::Fail(ckpt);
+      std::printf("checkpoint written at generation %llu\n",
+                  static_cast<unsigned long long>(log.last_generation()));
+    }
+
+    if (!output.empty()) {
+      model::ModelArtifact artifact;
+      artifact.database = std::move(db);
+      artifact.feature_space = std::move(result.feature_space);
+      artifact.catalog = std::move(result.subgraphs);
+      artifact.generation = log.last_generation();
+      artifact.tarone_alpha = config.tarone_alpha;
+      artifact.tarone_delta_star = result.stats.tarone_delta_star;
+      artifact.tarone_family_size =
+          static_cast<uint64_t>(result.stats.tarone_family_size);
+      artifact.tarone_filtered =
+          static_cast<uint64_t>(result.stats.tarone_filtered_vectors);
+      tools::GuardOutput(output);
+      util::Status saved = model::SaveArtifact(artifact, output);
+      tools::CommitOutput(output);
+      if (!saved.ok()) tools::Fail(saved);
+      std::printf("artifact written to %s (generation %llu, %zu graphs, "
+                  "%zu patterns)\n",
+                  output.c_str(),
+                  static_cast<unsigned long long>(artifact.generation),
+                  artifact.database.size(), artifact.catalog.size());
+    }
+  }
+
+  const std::string metrics_path = flags.GetString("metrics-out", "");
+  if (!metrics_path.empty()) {
+    util::Status written = tools::WriteMetricsJson(metrics_path);
+    if (!written.ok()) tools::Fail(written);
+    std::printf("metrics written to %s\n", metrics_path.c_str());
+  }
+  return 0;
+}

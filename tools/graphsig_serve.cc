@@ -1,27 +1,43 @@
-// graphsig_serve: the GraphSig query daemon. Loads a model artifact
-// once, then serves Query/BatchQuery/Stats/Health RPCs over the binary
-// wire protocol (src/net/wire.h) from a non-blocking epoll loop,
-// dispatching decoded requests onto the shared thread pool.
+// graphsig_serve: the GraphSig query daemon. Loads a model artifact,
+// then serves Query/BatchQuery/Stats/Health RPCs over the binary wire
+// protocol (src/net/wire.h) from a non-blocking epoll loop, dispatching
+// decoded requests onto the shared thread pool.
 //
 //   graphsig_serve --model=model.gsig [--host=127.0.0.1] [--port=7117]
 //                  [--batch-threads=0 (auto)] [--max-inflight=64]
 //                  [--max-frame-mb=16] [--drain-timeout=5]
 //                  [--stats-log-period=0 (seconds; 0 = off)]
+//                  [--reload-period=0 (seconds; 0 = SIGHUP only)]
 //                  [--metrics-out=FILE (dumped after drain)]
 //
 // --port=0 binds an ephemeral port; the actual port is printed on the
 // "listening on" line (stdout, flushed) so scripts can scrape it.
 //
+// The catalog is held behind a serve::CatalogHandle, so a running
+// server can hot-swap to a newer artifact generation (the streaming
+// pipeline rewrites the model file after each ingest) without dropping
+// in-flight queries. SIGHUP reloads immediately; --reload-period=N
+// additionally polls the model file's mtime every N seconds. A reload
+// whose artifact fails to load leaves the served catalog untouched.
+//
 // SIGTERM/SIGINT trigger a graceful drain: stop accepting, finish
 // in-flight requests, flush every reply and the log sink, then exit 0.
 // Clients mid-request see their replies; idle clients see EOF.
+
+#include <sys/stat.h>
 
 #include <csignal>
 #include <cstdio>
 
 #include <atomic>
+#include <chrono>
+#include <memory>
+#include <string>
+#include <thread>
+#include <utility>
 
 #include "net/server.h"
+#include "serve/catalog_handle.h"
 #include "serve/pattern_catalog.h"
 #include "tools/tool_util.h"
 #include "util/timer.h"
@@ -29,11 +45,47 @@
 namespace {
 
 std::atomic<graphsig::net::Server*> g_server{nullptr};
+// Signal-handler flag; registry lookups are not async-signal-safe.
+std::atomic<bool> g_reload_requested{false};
 
 void HandleDrainSignal(int /*sig*/) {
   // RequestShutdown is async-signal-safe (atomic store + eventfd write).
   graphsig::net::Server* server = g_server.load(std::memory_order_acquire);
   if (server != nullptr) server->RequestShutdown();
+}
+
+void HandleReloadSignal(int /*sig*/) {
+  g_reload_requested.store(true, std::memory_order_release);
+}
+
+// Model file mtime (nanosecond resolution), 0 if unreadable.
+int64_t FileMtimeNs(const std::string& path) {
+  struct stat st;
+  if (::stat(path.c_str(), &st) != 0) return 0;
+  return static_cast<int64_t>(st.st_mtim.tv_sec) * 1000000000 +
+         st.st_mtim.tv_nsec;
+}
+
+// Loads the artifact at `path` and swaps it into `handle`. On failure
+// the old catalog keeps serving.
+void TryReload(const std::string& path, graphsig::serve::CatalogHandle* handle) {
+  using namespace graphsig;
+  util::WallTimer timer;
+  auto reloaded = serve::PatternCatalog::LoadFromFile(path);
+  if (!reloaded.ok()) {
+    std::fprintf(stderr, "reload failed (still serving previous): %s\n",
+                 reloaded.status().ToString().c_str());
+    return;
+  }
+  auto next = std::make_shared<const serve::PatternCatalog>(
+      std::move(reloaded).value());
+  const uint64_t generation = next->generation();
+  const size_t patterns = next->num_patterns();
+  handle->Swap(std::move(next));
+  std::fprintf(stderr,
+               "reloaded %s in %.2fs: generation %llu, %zu patterns\n",
+               path.c_str(), timer.ElapsedSeconds(),
+               static_cast<unsigned long long>(generation), patterns);
 }
 
 }  // namespace
@@ -48,20 +100,23 @@ int main(int argc, char** argv) {
                  "[--port=N (0 = ephemeral)] [--batch-threads=N (0 = "
                  "auto)] [--max-inflight=N] [--max-frame-mb=N] "
                  "[--drain-timeout=SECONDS] [--stats-log-period=SECONDS] "
-                 "[--metrics-out=FILE]\n");
+                 "[--reload-period=SECONDS] [--metrics-out=FILE]\n");
     return 1;
   }
 
   util::WallTimer load_timer;
-  auto catalog = serve::PatternCatalog::LoadFromFile(model_path);
-  if (!catalog.ok()) tools::Fail(catalog.status());
+  auto loaded = serve::PatternCatalog::LoadFromFile(model_path);
+  if (!loaded.ok()) tools::Fail(loaded.status());
+  auto initial = std::make_shared<const serve::PatternCatalog>(
+      std::move(loaded).value());
   std::fprintf(stderr,
                "loaded %s in %.2fs: %zu graphs indexed, %zu significant "
-               "patterns, classifier: %s\n",
+               "patterns, generation %llu, classifier: %s\n",
                model_path.c_str(), load_timer.ElapsedSeconds(),
-               catalog.value().artifact().database.size(),
-               catalog.value().num_patterns(),
-               catalog.value().has_classifier() ? "yes" : "no");
+               initial->artifact().database.size(), initial->num_patterns(),
+               static_cast<unsigned long long>(initial->generation()),
+               initial->has_classifier() ? "yes" : "no");
+  serve::CatalogHandle handle(std::move(initial));
 
   net::ServerConfig config;
   config.host = flags.GetString("host", config.host);
@@ -76,8 +131,9 @@ int main(int argc, char** argv) {
       flags.GetDouble("drain-timeout", config.drain_timeout_seconds);
   config.stats_log_period_seconds =
       flags.GetDouble("stats-log-period", config.stats_log_period_seconds);
+  const double reload_period = flags.GetDouble("reload-period", 0.0);
 
-  net::Server server(&catalog.value(), config);
+  net::Server server(&handle, config);
   util::Status started = server.Start();
   if (!started.ok()) tools::Fail(started);
 
@@ -87,16 +143,43 @@ int main(int argc, char** argv) {
   g_server.store(&server, std::memory_order_release);
   std::signal(SIGTERM, HandleDrainSignal);
   std::signal(SIGINT, HandleDrainSignal);
+  std::signal(SIGHUP, HandleReloadSignal);
 
   std::printf("listening on %s:%u\n", config.host.c_str(), server.port());
   std::fflush(stdout);
 
+  // Reload watcher: swaps in a fresh catalog on SIGHUP, and (when
+  // --reload-period > 0) whenever the model file's mtime changes. Runs
+  // until the event loop drains.
+  std::atomic<bool> stop_reloader{false};
+  std::thread reloader([&] {
+    int64_t last_mtime = FileMtimeNs(model_path);
+    double since_poll = 0.0;
+    while (!stop_reloader.load(std::memory_order_acquire)) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(100));
+      since_poll += 0.1;
+      bool want_reload =
+          g_reload_requested.exchange(false, std::memory_order_acq_rel);
+      if (reload_period > 0 && since_poll >= reload_period) {
+        since_poll = 0.0;
+        const int64_t mtime = FileMtimeNs(model_path);
+        if (mtime != 0 && mtime != last_mtime) {
+          last_mtime = mtime;
+          want_reload = true;
+        }
+      }
+      if (want_reload) TryReload(model_path, &handle);
+    }
+  });
+
   util::Status served = server.Serve();
   g_server.store(nullptr, std::memory_order_release);
+  stop_reloader.store(true, std::memory_order_release);
+  reloader.join();
   if (!served.ok()) tools::Fail(served);
 
   const net::ServerCounters counters = server.counters();
-  const serve::ServingStats stats = catalog.value().Snapshot();
+  const serve::ServingStats stats = handle.Current()->Snapshot();
   std::fprintf(stderr,
                "drained: %llu connections, %llu frames, %llu requests "
                "served, %llu protocol errors, %llu retries\n",
