@@ -1,0 +1,131 @@
+#!/usr/bin/env bash
+# Shard-sweep determinism gate for the CI shard-sweep job: one seeded
+# dataset is indexed once, then served at every shard count x fan-out
+# width in the matrix while graphsig_loadgen replays an identical
+# seeded, model-verified workload against each topology. The gate:
+#
+#   1. every reply byte-matches the in-process model answer
+#      (loadgen --verify-model), at every (shards, threads) point;
+#   2. the deterministic work-counter dump (the "counters" and "spans"
+#      sections of --metrics-out; advisory metrics are fenced) is
+#      byte-identical across ALL matrix points — sharding and fan-out
+#      may never change what work the server reports doing;
+#   3. each server reports exactly the shard count it was launched
+#      with in its Stats reply (loadgen JSON server.shards).
+#
+# Wall-clock never enters the gate, so it holds on slow, noisy,
+# single-core runners (and under TSan, where CI runs it).
+#
+#   shard_sweep.sh <build-dir> [shard counts, default "1 2 4"] \
+#                  [thread counts, default "1 4"]
+set -euo pipefail
+
+BUILD=${1:?usage: shard_sweep.sh <build-dir> [shards...] [threads...]}
+SHARD_COUNTS=${2:-"1 2 4"}
+THREAD_COUNTS=${3:-"1 4"}
+WORK=$(mktemp -d)
+SERVE_PID=
+
+cleanup() {
+  if [ -n "$SERVE_PID" ]; then
+    kill "$SERVE_PID" 2>/dev/null || true
+    wait "$SERVE_PID" 2>/dev/null || true
+  fi
+  rm -rf "$WORK"
+}
+trap cleanup EXIT
+
+# Seeded dataset + index, built once: every matrix point serves the
+# same artifact, so any counter divergence is the server's fault.
+"$BUILD/tools/graphsig_datagen" --screen=MCF-7 --size=60 --seed=3 \
+  --active-fraction=0.3 --output="$WORK/screen.smi" >/dev/null
+"$BUILD/tools/graphsig_index" --input="$WORK/screen.smi" \
+  --output="$WORK/model.gsig" --radius=4 --threads=2 >/dev/null
+
+BASELINE=
+BASELINE_LABEL=
+for threads in $THREAD_COUNTS; do
+  for shards in $SHARD_COUNTS; do
+    label="shards=${shards}_threads=${threads}"
+    echo "shard_sweep: $label"
+    metrics="$WORK/metrics_${shards}_${threads}.json"
+
+    # --max-inflight far above the offered load: RETRY_LATER must never
+    # fire, or the served-request counters would depend on timing. Two
+    # event loops so accept sharding is always in the picture.
+    "$BUILD/tools/graphsig_serve" --model="$WORK/model.gsig" --port=0 \
+      --shards="$shards" --threads="$threads" --loops=2 \
+      --max-inflight=4096 --metrics-out="$metrics" \
+      >"$WORK/serve.out" 2>"$WORK/serve.err" &
+    SERVE_PID=$!
+
+    PORT=
+    for _ in $(seq 1 100); do
+      PORT=$(sed -n 's/.*listening on [0-9.]*:\([0-9]*\)$/\1/p' "$WORK/serve.out")
+      [ -n "$PORT" ] && break
+      kill -0 "$SERVE_PID" 2>/dev/null || { cat "$WORK/serve.err" >&2; exit 1; }
+      sleep 0.1
+    done
+    if [ -z "$PORT" ]; then
+      echo "shard_sweep: failed to scrape port from serve output:" >&2
+      cat "$WORK/serve.out" "$WORK/serve.err" >&2
+      exit 1
+    fi
+
+    # The same seeded schedule at every point, with a deterministic 30%
+    # approx slice, every reply checked against the model in-process.
+    "$BUILD/tools/graphsig_loadgen" --port="$PORT" \
+      --input="$WORK/screen.smi" --qps=400 --count=100 --connections=2 \
+      --seed=7 --mix=0.3 --approx-samples=32 \
+      --verify-model="$WORK/model.gsig" --json="$WORK/loadgen.json"
+
+    kill -TERM "$SERVE_PID"
+    wait "$SERVE_PID"
+    SERVE_PID=
+    grep -q "drained:" "$WORK/serve.err" || {
+      echo "shard_sweep: server did not drain ($label)" >&2
+      cat "$WORK/serve.err" >&2
+      exit 1
+    }
+    rm -f "$WORK/serve.out" "$WORK/serve.err"
+
+    # Gate 3: the server told the client how many shards it runs.
+    python3 - "$WORK/loadgen.json" "$shards" <<'EOF'
+import json, sys
+report = json.load(open(sys.argv[1]))
+want = int(sys.argv[2])
+got = report["server"].get("shards")
+if got != want:
+    print(f"shard_sweep: server reports {got} shards, launched with {want}",
+          file=sys.stderr)
+    sys.exit(1)
+if report["totals"].get("retry_later", 0) != 0:
+    print("shard_sweep: RETRY_LATER fired; counters are load-dependent",
+          file=sys.stderr)
+    sys.exit(1)
+EOF
+
+    # Gate 2: project out the deterministic sections ("counters" and
+    # "spans" — the advisory block is allowed to vary with topology)
+    # and require byte-identity with the first matrix point.
+    stripped="$WORK/stripped_${shards}_${threads}.json"
+    python3 - "$metrics" "$stripped" <<'EOF'
+import json, sys
+dump = json.load(open(sys.argv[1]))
+deterministic = {"counters": dump["counters"], "spans": dump["spans"]}
+with open(sys.argv[2], "w") as out:
+    json.dump(deterministic, out, indent=1, sort_keys=True)
+EOF
+    if [ -z "$BASELINE" ]; then
+      BASELINE=$stripped
+      BASELINE_LABEL=$label
+    elif ! cmp -s "$BASELINE" "$stripped"; then
+      echo "shard_sweep: deterministic counters diverge:" \
+        "$BASELINE_LABEL vs $label" >&2
+      diff -u "$BASELINE" "$stripped" >&2 || true
+      exit 1
+    fi
+  done
+done
+echo "shard_sweep: deterministic counters byte-identical across" \
+  "shards {$SHARD_COUNTS} x threads {$THREAD_COUNTS}"

@@ -141,27 +141,34 @@ util::Result<PatternCatalog> PatternCatalog::LoadFromFile(
   return FromArtifact(std::move(artifact).value());
 }
 
+PatternCatalog::AnchorMatches PatternCatalog::MatchAnchors(
+    const graph::Graph& query, const QueryProfile& profile,
+    const std::map<graph::Label, std::vector<int32_t>>& anchors) const {
+  AnchorMatches out;
+  for (const auto& [label, _] : profile.degrees_by_label) {
+    auto it = anchors.find(label);
+    if (it == anchors.end()) continue;
+    for (int32_t pattern_id : it->second) {
+      if (!SignatureDominated(signatures_[pattern_id], profile)) continue;
+      ++out.iso_calls;
+      if (graph::IsSubgraphIsomorphic(artifact_.catalog[pattern_id].subgraph,
+                                      query)) {
+        out.matched_patterns.push_back(pattern_id);
+      }
+    }
+  }
+  return out;
+}
+
 QueryResult PatternCatalog::Query(const graph::Graph& query,
                                   const CatalogQueryConfig& config) const {
   util::WallTimer timer;
   QueryResult result;
   if (config.compute_matches && !signatures_.empty()) {
     const QueryProfile profile = BuildProfile(query);
-    for (const auto& [label, _] : profile.degrees_by_label) {
-      auto it = patterns_by_anchor_.find(label);
-      if (it == patterns_by_anchor_.end()) continue;
-      for (int32_t pattern_id : it->second) {
-        if (!SignatureDominated(signatures_[pattern_id], profile)) {
-          ++result.pruned;
-          continue;
-        }
-        ++result.iso_calls;
-        if (graph::IsSubgraphIsomorphic(
-                artifact_.catalog[pattern_id].subgraph, query)) {
-          result.matched_patterns.push_back(pattern_id);
-        }
-      }
-    }
+    AnchorMatches matches = MatchAnchors(query, profile, patterns_by_anchor_);
+    result.matched_patterns = std::move(matches.matched_patterns);
+    result.iso_calls = matches.iso_calls;
     // Patterns whose anchor label the query lacks count as pruned too:
     // the index skipped them without even touching their signature.
     result.pruned =
@@ -177,7 +184,9 @@ QueryResult PatternCatalog::Query(const graph::Graph& query,
   {
     // Per-query totals are pure functions of (query, catalog), so the
     // registry copies are deterministic work counters; the latency
-    // histogram is advisory (DESIGN.md §12).
+    // histogram is advisory (DESIGN.md §12). ShardedCatalog flushes the
+    // same names from its own fan-out/merge path, so the dumped totals
+    // are invariant in the shard count as well as the thread count.
     auto& registry = obs::MetricsRegistry::Global();
     static obs::Counter* const queries =
         registry.GetCounter("serve/queries");
@@ -196,19 +205,20 @@ QueryResult PatternCatalog::Query(const graph::Graph& query,
     matches->Add(result.matched_patterns.size());
     latency_us->Observe(static_cast<uint64_t>(result.latency_ms * 1000.0));
   }
-  {
-    util::MutexLock lock(&counters_->mutex);
-    ServingStats& stats = counters_->stats;
-    ++stats.queries;
-    stats.total_latency_ms += result.latency_ms;
-    stats.max_latency_ms = std::max(stats.max_latency_ms,
-                                    result.latency_ms);
-    stats.iso_calls += result.iso_calls;
-    stats.pruned += result.pruned;
-    stats.pattern_matches +=
-        static_cast<int64_t>(result.matched_patterns.size());
-  }
+  AggregateServingStats(result);
   return result;
+}
+
+void PatternCatalog::AggregateServingStats(const QueryResult& result) const {
+  util::MutexLock lock(&counters_->mutex);
+  ServingStats& stats = counters_->stats;
+  ++stats.queries;
+  stats.total_latency_ms += result.latency_ms;
+  stats.max_latency_ms = std::max(stats.max_latency_ms, result.latency_ms);
+  stats.iso_calls += result.iso_calls;
+  stats.pruned += result.pruned;
+  stats.pattern_matches +=
+      static_cast<int64_t>(result.matched_patterns.size());
 }
 
 util::Result<ApproxResult> PatternCatalog::ApproxQuery(
@@ -265,7 +275,7 @@ ServingStats PatternCatalog::Snapshot() const {
   return counters_->stats;
 }
 
-void PatternCatalog::ResetStats() {
+void PatternCatalog::ResetStats() const {
   util::MutexLock lock(&counters_->mutex);
   counters_->stats = ServingStats{};
 }

@@ -123,6 +123,28 @@ struct ServingStats {
 
 class PatternCatalog {
  public:
+  // The query-side half of the containment signature: what one graph
+  // offers, precomputed once so it can be tested against many pattern
+  // signatures (and, for a sharded catalog, against many anchor slices
+  // without rebuilding).
+  struct QueryProfile {
+    int32_t num_vertices = 0;
+    int32_t num_edges = 0;
+    std::map<std::tuple<graph::Label, graph::Label, graph::Label>, int32_t>
+        edge_type_counts;
+    std::map<graph::Label, std::vector<int32_t>> degrees_by_label;
+  };
+
+  // The match work of one anchor slice: pattern ids that passed the
+  // exact isomorphism test (in slice iteration order, NOT sorted) plus
+  // how many isomorphism calls the slice cost. Sliced totals sum to the
+  // full-index totals because every pattern lives under exactly one
+  // anchor label.
+  struct AnchorMatches {
+    std::vector<int32_t> matched_patterns;
+    int32_t iso_calls = 0;
+  };
+
   // Builds the serving indexes from a loaded artifact (moves it in).
   // Fails if the artifact's catalog contains an empty-graph pattern
   // (nothing in the pipeline produces one; treat as corruption).
@@ -130,6 +152,27 @@ class PatternCatalog {
       model::ModelArtifact artifact);
   // LoadArtifact + FromArtifact.
   static util::Result<PatternCatalog> LoadFromFile(const std::string& path);
+
+  static QueryProfile BuildProfile(const graph::Graph& g);
+
+  // Runs the index/signature/isomorphism cascade for the patterns in
+  // `anchors` only (any subset of patterns_by_anchor(), e.g. one
+  // ShardedCatalog shard). Pure — no counters, no stats; callers
+  // aggregate and flush. Thread-safe.
+  AnchorMatches MatchAnchors(
+      const graph::Graph& query, const QueryProfile& profile,
+      const std::map<graph::Label, std::vector<int32_t>>& anchors) const;
+
+  // Distance-weighted k-NN activity score. Requires has_classifier().
+  double ClassifierScore(const graph::Graph& query) const {
+    return classifier_.Score(query);
+  }
+
+  // Folds one finished query into the cumulative ServingStats (the
+  // mutex-guarded aggregate Snapshot() reads). ShardedCatalog calls
+  // this from its merge step so sharded and unsharded serving report
+  // through one set of totals.
+  void AggregateServingStats(const QueryResult& result) const;
 
   // Answers one query. Thread-safe: the catalog is immutable after
   // construction.
@@ -157,7 +200,7 @@ class PatternCatalog {
   // graphsig_query exit summary and the server's Stats RPC read through
   // this.
   ServingStats Snapshot() const;
-  void ResetStats();
+  void ResetStats() const;
 
   size_t num_patterns() const { return artifact_.catalog.size(); }
   bool has_classifier() const { return !artifact_.classifier.empty(); }
@@ -169,6 +212,11 @@ class PatternCatalog {
     return artifact_.catalog;
   }
   const model::ModelArtifact& artifact() const { return artifact_; }
+  // The full anchor index — what ShardedCatalog partitions.
+  const std::map<graph::Label, std::vector<int32_t>>& patterns_by_anchor()
+      const {
+    return patterns_by_anchor_;
+  }
 
  private:
   PatternCatalog() = default;
@@ -194,15 +242,7 @@ class PatternCatalog {
         degrees_by_label;
   };
 
-  struct QueryProfile {
-    int32_t num_vertices = 0;
-    int32_t num_edges = 0;
-    std::map<EdgeTypeKey, int32_t> edge_type_counts;
-    std::map<graph::Label, std::vector<int32_t>> degrees_by_label;
-  };
-
   static PatternSignature BuildSignature(const graph::Graph& g);
-  static QueryProfile BuildProfile(const graph::Graph& g);
   static bool SignatureDominated(const PatternSignature& pattern,
                                  const QueryProfile& query);
 

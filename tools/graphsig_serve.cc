@@ -4,6 +4,8 @@
 // decoded requests onto the shared thread pool.
 //
 //   graphsig_serve --model=model.gsig [--host=127.0.0.1] [--port=7117]
+//                  [--shards=1] [--threads=1 (per-query shard fan-out)]
+//                  [--loops=1] [--workers-per-loop=0 (shared pool)]
 //                  [--batch-threads=0 (auto)] [--max-inflight=64]
 //                  [--max-frame-mb=16] [--drain-timeout=5]
 //                  [--stats-log-period=0 (seconds; 0 = off)]
@@ -13,12 +15,23 @@
 // --port=0 binds an ephemeral port; the actual port is printed on the
 // "listening on" line (stdout, flushed) so scripts can scrape it.
 //
+// --shards=N splits the catalog's anchor index into N deterministic
+// slices (serve::ShardedCatalog); --threads=T fans each Query across
+// the slices T wide. Replies and the deterministic work-counter dump
+// are byte-identical for every (N, T) — the CI shard-sweep job holds
+// this at N ∈ {1,2,4} × T ∈ {1,4}. --loops=L runs L epoll event loops
+// with round-robin accept sharding; --workers-per-loop=W gives each
+// loop a private W-thread worker pool instead of the shared one.
+//
 // The catalog is held behind a serve::CatalogHandle, so a running
 // server can hot-swap to a newer artifact generation (the streaming
 // pipeline rewrites the model file after each ingest) without dropping
 // in-flight queries. SIGHUP reloads immediately; --reload-period=N
 // additionally polls the model file's mtime every N seconds. A reload
-// whose artifact fails to load leaves the served catalog untouched.
+// rebuilds the whole shard set at the configured --shards and swaps it
+// as ONE generation — queries never observe a mixed-generation shard
+// mix. A reload whose artifact fails to load leaves the served catalog
+// untouched.
 //
 // SIGTERM/SIGINT trigger a graceful drain: stop accepting, finish
 // in-flight requests, flush every reply and the log sink, then exit 0.
@@ -39,6 +52,7 @@
 #include "net/server.h"
 #include "serve/catalog_handle.h"
 #include "serve/pattern_catalog.h"
+#include "serve/sharded_catalog.h"
 #include "tools/tool_util.h"
 #include "util/timer.h"
 
@@ -66,9 +80,11 @@ int64_t FileMtimeNs(const std::string& path) {
          st.st_mtim.tv_nsec;
 }
 
-// Loads the artifact at `path` and swaps it into `handle`. On failure
-// the old catalog keeps serving.
-void TryReload(const std::string& path, graphsig::serve::CatalogHandle* handle) {
+// Loads the artifact at `path`, re-shards it at the configured shard
+// count, and swaps the complete shard set into `handle` as one
+// generation. On failure the old catalog keeps serving.
+void TryReload(const std::string& path, int num_shards,
+               graphsig::serve::CatalogHandle* handle) {
   using namespace graphsig;
   util::WallTimer timer;
   auto reloaded = serve::PatternCatalog::LoadFromFile(path);
@@ -77,15 +93,19 @@ void TryReload(const std::string& path, graphsig::serve::CatalogHandle* handle) 
                  reloaded.status().ToString().c_str());
     return;
   }
-  auto next = std::make_shared<const serve::PatternCatalog>(
-      std::move(reloaded).value());
+  auto next = std::make_shared<const serve::ShardedCatalog>(
+      std::make_shared<const serve::PatternCatalog>(
+          std::move(reloaded).value()),
+      num_shards);
   const uint64_t generation = next->generation();
   const size_t patterns = next->num_patterns();
+  const size_t shards = next->num_shards();
   handle->Swap(std::move(next));
-  std::fprintf(stderr,
-               "reloaded %s in %.2fs: generation %llu, %zu patterns\n",
-               path.c_str(), timer.ElapsedSeconds(),
-               static_cast<unsigned long long>(generation), patterns);
+  std::fprintf(
+      stderr,
+      "reloaded %s in %.2fs: generation %llu, %zu patterns, %zu shard(s)\n",
+      path.c_str(), timer.ElapsedSeconds(),
+      static_cast<unsigned long long>(generation), patterns, shards);
 }
 
 }  // namespace
@@ -97,25 +117,37 @@ int main(int argc, char** argv) {
   if (model_path.empty()) {
     std::fprintf(stderr,
                  "usage: graphsig_serve --model=FILE [--host=ADDR] "
-                 "[--port=N (0 = ephemeral)] [--batch-threads=N (0 = "
-                 "auto)] [--max-inflight=N] [--max-frame-mb=N] "
-                 "[--drain-timeout=SECONDS] [--stats-log-period=SECONDS] "
-                 "[--reload-period=SECONDS] [--metrics-out=FILE]\n");
+                 "[--port=N (0 = ephemeral)] [--shards=N] [--threads=N] "
+                 "[--loops=N] [--workers-per-loop=N (0 = shared pool)] "
+                 "[--batch-threads=N (0 = auto)] [--max-inflight=N] "
+                 "[--max-frame-mb=N] [--drain-timeout=SECONDS] "
+                 "[--stats-log-period=SECONDS] [--reload-period=SECONDS] "
+                 "[--metrics-out=FILE]\n");
+    return 1;
+  }
+  const int num_shards =
+      static_cast<int>(flags.GetInt("shards", 1));
+  if (num_shards < 1) {
+    std::fprintf(stderr, "--shards must be >= 1\n");
     return 1;
   }
 
   util::WallTimer load_timer;
   auto loaded = serve::PatternCatalog::LoadFromFile(model_path);
   if (!loaded.ok()) tools::Fail(loaded.status());
-  auto initial = std::make_shared<const serve::PatternCatalog>(
-      std::move(loaded).value());
+  auto initial = std::make_shared<const serve::ShardedCatalog>(
+      std::make_shared<const serve::PatternCatalog>(
+          std::move(loaded).value()),
+      num_shards);
   std::fprintf(stderr,
                "loaded %s in %.2fs: %zu graphs indexed, %zu significant "
-               "patterns, generation %llu, classifier: %s\n",
+               "patterns, generation %llu, classifier: %s, %zu shard(s)\n",
                model_path.c_str(), load_timer.ElapsedSeconds(),
-               initial->artifact().database.size(), initial->num_patterns(),
+               initial->catalog().artifact().database.size(),
+               initial->num_patterns(),
                static_cast<unsigned long long>(initial->generation()),
-               initial->has_classifier() ? "yes" : "no");
+               initial->has_classifier() ? "yes" : "no",
+               initial->num_shards());
   serve::CatalogHandle handle(std::move(initial));
 
   net::ServerConfig config;
@@ -123,6 +155,11 @@ int main(int argc, char** argv) {
   config.port = static_cast<uint16_t>(flags.GetInt("port", 7117));
   config.batch_threads =
       tools::ResolveThreads(flags.GetInt("batch-threads", 0));
+  config.query_threads =
+      static_cast<int>(flags.GetInt("threads", config.query_threads));
+  config.num_loops = static_cast<int>(flags.GetInt("loops", config.num_loops));
+  config.workers_per_loop = static_cast<int>(
+      flags.GetInt("workers-per-loop", config.workers_per_loop));
   config.max_inflight_requests = static_cast<size_t>(flags.GetInt(
       "max-inflight", static_cast<int64_t>(config.max_inflight_requests)));
   config.max_frame_bytes =
@@ -168,7 +205,7 @@ int main(int argc, char** argv) {
           want_reload = true;
         }
       }
-      if (want_reload) TryReload(model_path, &handle);
+      if (want_reload) TryReload(model_path, num_shards, &handle);
     }
   });
 
